@@ -1,0 +1,59 @@
+// Command tdlc parses a Task Description Language program (paper §3.4),
+// validates it, and prints either its canonical form or the accelerator
+// descriptor it compiles to (instruction listing with loop nests, passes
+// and parameter references).
+//
+// Usage:
+//
+//	tdlc [-dump] program.tdl
+//	echo 'LOOP 128 { PASS { COMP FFT PARAMS "fft.para" } }' | tdlc -dump -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/tdl"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print the compiled descriptor instruction listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tdlc [-dump] program.tdl (use - for stdin)")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdlc:", err)
+		os.Exit(1)
+	}
+	prog, err := tdl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdlc:", err)
+		os.Exit(1)
+	}
+	if !*dump {
+		fmt.Print(tdl.Format(prog))
+		return
+	}
+	// Compile with placeholder parameters: the structure is what -dump
+	// inspects; parameters bind at run time.
+	d, err := tdl.Compile(prog, func(ref string) (descriptor.Params, error) {
+		return descriptor.Params{0}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdlc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(d.Disassemble())
+}

@@ -1,0 +1,56 @@
+// Design-space exploration of the FFT and SPMV accelerators (paper §5.3,
+// Figure 11): sweep frequency, datapath width, DRAM row-buffer size and
+// blocking factor at the fixed 510 GB/s stack bandwidth, and report the
+// performance/power/efficiency frontier.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"mealib/internal/exp"
+)
+
+func frontier(points []exp.DesignPoint) []exp.DesignPoint {
+	sorted := append([]exp.DesignPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Power < sorted[j].Power })
+	var out []exp.DesignPoint
+	best := 0.0
+	for _, p := range sorted {
+		if g := p.Perf.G(); g > best {
+			best = g
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func show(name string, points []exp.DesignPoint, spmv bool) {
+	fmt.Printf("%s design space: %d points\n", name, len(points))
+	fmt.Println("  pareto frontier (performance vs power):")
+	for _, p := range frontier(points) {
+		knob := fmt.Sprintf("row %v", p.RowBytes)
+		if spmv {
+			knob = fmt.Sprintf("block %d", p.BlockSize)
+		}
+		fmt.Printf("    %v x%d cores, %-9s -> %8.1f GFLOPS at %6.2f W  (%.2f GFLOPS/W)\n",
+			p.Freq, p.CoresPerTile, knob, p.Perf.G(), float64(p.Power), p.Efficiency())
+	}
+	lo, hi := 1e18, 0.0
+	for _, p := range points {
+		e := p.Efficiency()
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	fmt.Printf("  efficiency range: %.2f - %.2f GFLOPS/W\n\n", lo, hi)
+}
+
+func main() {
+	show("FFT", exp.FFTDesignSpace(), false)
+	show("SPMV", exp.SpmvDesignSpace(), true)
+	fmt.Println("paper (Figure 11): FFT 10-56 GFLOPS/W, SPMV 0.18-1.76 GFLOPS/W")
+}

@@ -1,0 +1,3 @@
+module mealib
+
+go 1.22

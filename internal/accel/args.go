@@ -1,0 +1,355 @@
+package accel
+
+import (
+	"fmt"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+)
+
+// This file defines the parameter-block schema of each accelerator: the
+// field order an accelerator's initialization process reads out of the
+// Parameter Region (paper §2.2-2.3). Fields mirror the library API the
+// accelerator instantiates (problem size, buffers, strides), plus the
+// per-iteration address strides the compiler derives from OpenMP loops so a
+// single LOOP-block descriptor can cover millions of library calls (§3.4).
+
+// i64Field packs a signed value (BLAS increments may be negative).
+func i64Field(v int64) uint64 { return uint64(v) }
+
+// i64Of unpacks a signed field.
+func i64Of(f uint64) int64 { return int64(f) }
+
+// Strides holds the per-level byte strides of one buffer across a hardware
+// loop nest (descriptor.MaxLoopLevels levels, outermost first). A plain
+// single loop uses Lin.
+type Strides [descriptor.MaxLoopLevels]int64
+
+// Lin builds single-level strides (the innermost level advances by s bytes
+// per iteration).
+func Lin(s int64) Strides {
+	var st Strides
+	st[descriptor.MaxLoopLevels-1] = s
+	return st
+}
+
+// Offset returns the byte offset of iteration vector it.
+func (s Strides) Offset(it IterVec) int64 {
+	var off int64
+	for l := range s {
+		off += s[l] * it[l]
+	}
+	return off
+}
+
+// fields encodes the strides as parameter fields.
+func (s Strides) fields() []uint64 {
+	out := make([]uint64, len(s))
+	for i, v := range s {
+		out[i] = i64Field(v)
+	}
+	return out
+}
+
+// stridesOf decodes MaxLoopLevels fields.
+func stridesOf(p descriptor.Params) Strides {
+	var s Strides
+	for i := range s {
+		s[i] = i64Of(p[i])
+	}
+	return s
+}
+
+// IterVec is the current index of each loop-nest level, outermost first.
+type IterVec [descriptor.MaxLoopLevels]int64
+
+// AxpyArgs configures the AXPY accelerator (cblas_saxpy).
+type AxpyArgs struct {
+	N          int64
+	Alpha      float32
+	X, Y       phys.Addr
+	IncX, IncY int64
+	// LoopStride* advance the buffer base per LOOP nest level (bytes).
+	LoopStrideX, LoopStrideY Strides
+}
+
+// Params encodes the argument block.
+func (a AxpyArgs) Params() descriptor.Params {
+	p := descriptor.Params{
+		i64Field(a.N), descriptor.F32Field(a.Alpha),
+		descriptor.AddrField(a.X), descriptor.AddrField(a.Y),
+		i64Field(a.IncX), i64Field(a.IncY),
+	}
+	p = append(p, a.LoopStrideX.fields()...)
+	return append(p, a.LoopStrideY.fields()...)
+}
+
+// DecodeAxpyArgs decodes an AXPY argument block.
+func DecodeAxpyArgs(p descriptor.Params) (AxpyArgs, error) {
+	const want = 6 + 2*descriptor.MaxLoopLevels
+	if len(p) != want {
+		return AxpyArgs{}, fmt.Errorf("accel: AXPY expects %d parameter fields, got %d", want, len(p))
+	}
+	return AxpyArgs{
+		N: i64Of(p[0]), Alpha: descriptor.F32Of(p[1]),
+		X: descriptor.AddrOf(p[2]), Y: descriptor.AddrOf(p[3]),
+		IncX: i64Of(p[4]), IncY: i64Of(p[5]),
+		LoopStrideX: stridesOf(p[6:]), LoopStrideY: stridesOf(p[6+descriptor.MaxLoopLevels:]),
+	}, nil
+}
+
+// shift offsets the buffers for LOOP iteration vector it.
+func (a AxpyArgs) shift(it IterVec) AxpyArgs {
+	a.X += phys.Addr(a.LoopStrideX.Offset(it))
+	a.Y += phys.Addr(a.LoopStrideY.Offset(it))
+	return a
+}
+
+// DotArgs configures the DOT accelerator (cblas_sdot and, with Complex set,
+// cblas_cdotc_sub; the paper maps both onto the DOT accelerator).
+type DotArgs struct {
+	N                                       int64
+	Complex                                 bool
+	X, Y, Out                               phys.Addr
+	IncX, IncY                              int64
+	LoopStrideX, LoopStrideY, LoopStrideOut Strides
+}
+
+// Params encodes the argument block.
+func (a DotArgs) Params() descriptor.Params {
+	var cplx uint64
+	if a.Complex {
+		cplx = 1
+	}
+	p := descriptor.Params{
+		i64Field(a.N), cplx,
+		descriptor.AddrField(a.X), descriptor.AddrField(a.Y), descriptor.AddrField(a.Out),
+		i64Field(a.IncX), i64Field(a.IncY),
+	}
+	p = append(p, a.LoopStrideX.fields()...)
+	p = append(p, a.LoopStrideY.fields()...)
+	return append(p, a.LoopStrideOut.fields()...)
+}
+
+// DecodeDotArgs decodes a DOT argument block.
+func DecodeDotArgs(p descriptor.Params) (DotArgs, error) {
+	const l = descriptor.MaxLoopLevels
+	const want = 7 + 3*l
+	if len(p) != want {
+		return DotArgs{}, fmt.Errorf("accel: DOT expects %d parameter fields, got %d", want, len(p))
+	}
+	return DotArgs{
+		N: i64Of(p[0]), Complex: p[1] != 0,
+		X: descriptor.AddrOf(p[2]), Y: descriptor.AddrOf(p[3]), Out: descriptor.AddrOf(p[4]),
+		IncX: i64Of(p[5]), IncY: i64Of(p[6]),
+		LoopStrideX: stridesOf(p[7:]), LoopStrideY: stridesOf(p[7+l:]), LoopStrideOut: stridesOf(p[7+2*l:]),
+	}, nil
+}
+
+func (a DotArgs) shift(it IterVec) DotArgs {
+	a.X += phys.Addr(a.LoopStrideX.Offset(it))
+	a.Y += phys.Addr(a.LoopStrideY.Offset(it))
+	a.Out += phys.Addr(a.LoopStrideOut.Offset(it))
+	return a
+}
+
+// GemvArgs configures the GEMV accelerator (cblas_sgemv, row major,
+// no-transpose).
+type GemvArgs struct {
+	M, N        int64
+	Alpha, Beta float32
+	A           phys.Addr
+	Lda         int64
+	X, Y        phys.Addr
+	// LoopStride* advance the operands per LOOP nest level (batched GEMV).
+	LoopStrideA, LoopStrideX, LoopStrideY Strides
+}
+
+// Params encodes the argument block.
+func (a GemvArgs) Params() descriptor.Params {
+	p := descriptor.Params{
+		i64Field(a.M), i64Field(a.N),
+		descriptor.F32Field(a.Alpha), descriptor.F32Field(a.Beta),
+		descriptor.AddrField(a.A), i64Field(a.Lda),
+		descriptor.AddrField(a.X), descriptor.AddrField(a.Y),
+	}
+	p = append(p, a.LoopStrideA.fields()...)
+	p = append(p, a.LoopStrideX.fields()...)
+	return append(p, a.LoopStrideY.fields()...)
+}
+
+// DecodeGemvArgs decodes a GEMV argument block.
+func DecodeGemvArgs(p descriptor.Params) (GemvArgs, error) {
+	const l = descriptor.MaxLoopLevels
+	const want = 8 + 3*l
+	if len(p) != want {
+		return GemvArgs{}, fmt.Errorf("accel: GEMV expects %d parameter fields, got %d", want, len(p))
+	}
+	return GemvArgs{
+		M: i64Of(p[0]), N: i64Of(p[1]),
+		Alpha: descriptor.F32Of(p[2]), Beta: descriptor.F32Of(p[3]),
+		A: descriptor.AddrOf(p[4]), Lda: i64Of(p[5]),
+		X: descriptor.AddrOf(p[6]), Y: descriptor.AddrOf(p[7]),
+		LoopStrideA: stridesOf(p[8:]), LoopStrideX: stridesOf(p[8+l:]), LoopStrideY: stridesOf(p[8+2*l:]),
+	}, nil
+}
+
+func (a GemvArgs) shift(it IterVec) GemvArgs {
+	a.A += phys.Addr(a.LoopStrideA.Offset(it))
+	a.X += phys.Addr(a.LoopStrideX.Offset(it))
+	a.Y += phys.Addr(a.LoopStrideY.Offset(it))
+	return a
+}
+
+// SpmvArgs configures the SPMV accelerator (mkl_scsrgemv, zero-based CSR).
+type SpmvArgs struct {
+	M, Cols, NNZ           int64
+	RowPtr, ColIdx, Values phys.Addr
+	X, Y                   phys.Addr
+}
+
+// Params encodes the argument block.
+func (a SpmvArgs) Params() descriptor.Params {
+	return descriptor.Params{
+		i64Field(a.M), i64Field(a.Cols), i64Field(a.NNZ),
+		descriptor.AddrField(a.RowPtr), descriptor.AddrField(a.ColIdx), descriptor.AddrField(a.Values),
+		descriptor.AddrField(a.X), descriptor.AddrField(a.Y),
+	}
+}
+
+// DecodeSpmvArgs decodes an SPMV argument block.
+func DecodeSpmvArgs(p descriptor.Params) (SpmvArgs, error) {
+	if len(p) != 8 {
+		return SpmvArgs{}, fmt.Errorf("accel: SPMV expects 8 parameter fields, got %d", len(p))
+	}
+	return SpmvArgs{
+		M: i64Of(p[0]), Cols: i64Of(p[1]), NNZ: i64Of(p[2]),
+		RowPtr: descriptor.AddrOf(p[3]), ColIdx: descriptor.AddrOf(p[4]), Values: descriptor.AddrOf(p[5]),
+		X: descriptor.AddrOf(p[6]), Y: descriptor.AddrOf(p[7]),
+	}, nil
+}
+
+// Resampling kinds accepted by ResmpArgs.Kind: values 0/1 are
+// kernels.InterpLinear/InterpCubic over float32 data; adding ResmpComplex
+// selects complex64 data (real and imaginary parts interpolated
+// independently).
+const ResmpComplex int64 = 2
+
+// ResmpArgs configures the RESMP accelerator (dfsInterpolate1D).
+type ResmpArgs struct {
+	NIn, NOut                    int64
+	Kind                         int64 // kernels.InterpKind
+	Src, Dst                     phys.Addr
+	LoopStrideSrc, LoopStrideDst Strides
+}
+
+// Params encodes the argument block.
+func (a ResmpArgs) Params() descriptor.Params {
+	p := descriptor.Params{
+		i64Field(a.NIn), i64Field(a.NOut), i64Field(a.Kind),
+		descriptor.AddrField(a.Src), descriptor.AddrField(a.Dst),
+	}
+	p = append(p, a.LoopStrideSrc.fields()...)
+	return append(p, a.LoopStrideDst.fields()...)
+}
+
+// DecodeResmpArgs decodes a RESMP argument block.
+func DecodeResmpArgs(p descriptor.Params) (ResmpArgs, error) {
+	const l = descriptor.MaxLoopLevels
+	const want = 5 + 2*l
+	if len(p) != want {
+		return ResmpArgs{}, fmt.Errorf("accel: RESMP expects %d parameter fields, got %d", want, len(p))
+	}
+	return ResmpArgs{
+		NIn: i64Of(p[0]), NOut: i64Of(p[1]), Kind: i64Of(p[2]),
+		Src: descriptor.AddrOf(p[3]), Dst: descriptor.AddrOf(p[4]),
+		LoopStrideSrc: stridesOf(p[5:]), LoopStrideDst: stridesOf(p[5+l:]),
+	}, nil
+}
+
+func (a ResmpArgs) shift(it IterVec) ResmpArgs {
+	a.Src += phys.Addr(a.LoopStrideSrc.Offset(it))
+	a.Dst += phys.Addr(a.LoopStrideDst.Offset(it))
+	return a
+}
+
+// FFTArgs configures the FFT accelerator (fftwf_execute on a guru plan:
+// batched 1-D complex transforms, optionally out of place).
+type FFTArgs struct {
+	N                            int64
+	Inverse                      bool
+	HowMany                      int64
+	Src, Dst                     phys.Addr // Dst == Src for in-place
+	LoopStrideSrc, LoopStrideDst Strides
+}
+
+// Params encodes the argument block.
+func (a FFTArgs) Params() descriptor.Params {
+	var inv uint64
+	if a.Inverse {
+		inv = 1
+	}
+	p := descriptor.Params{
+		i64Field(a.N), inv, i64Field(a.HowMany),
+		descriptor.AddrField(a.Src), descriptor.AddrField(a.Dst),
+	}
+	p = append(p, a.LoopStrideSrc.fields()...)
+	return append(p, a.LoopStrideDst.fields()...)
+}
+
+// DecodeFFTArgs decodes an FFT argument block.
+func DecodeFFTArgs(p descriptor.Params) (FFTArgs, error) {
+	const l = descriptor.MaxLoopLevels
+	const want = 5 + 2*l
+	if len(p) != want {
+		return FFTArgs{}, fmt.Errorf("accel: FFT expects %d parameter fields, got %d", want, len(p))
+	}
+	return FFTArgs{
+		N: i64Of(p[0]), Inverse: p[1] != 0, HowMany: i64Of(p[2]),
+		Src: descriptor.AddrOf(p[3]), Dst: descriptor.AddrOf(p[4]),
+		LoopStrideSrc: stridesOf(p[5:]), LoopStrideDst: stridesOf(p[5+l:]),
+	}, nil
+}
+
+func (a FFTArgs) shift(it IterVec) FFTArgs {
+	a.Src += phys.Addr(a.LoopStrideSrc.Offset(it))
+	a.Dst += phys.Addr(a.LoopStrideDst.Offset(it))
+	return a
+}
+
+// ElemKind selects the element type of a RESHP operation.
+type ElemKind int64
+
+// Element kinds.
+const (
+	ElemF32 ElemKind = iota
+	ElemC64
+)
+
+// ReshpArgs configures the RESHP data-reshape engine (mkl_simatcopy and the
+// FFTW guru data-copy the compiler maps to RESHP). Rows x Cols source,
+// transposed into Dst; Dst == Src performs the square in-place transpose.
+type ReshpArgs struct {
+	Rows, Cols int64
+	Elem       ElemKind
+	Src, Dst   phys.Addr
+}
+
+// Params encodes the argument block.
+func (a ReshpArgs) Params() descriptor.Params {
+	return descriptor.Params{
+		i64Field(a.Rows), i64Field(a.Cols), i64Field(int64(a.Elem)),
+		descriptor.AddrField(a.Src), descriptor.AddrField(a.Dst),
+	}
+}
+
+// DecodeReshpArgs decodes a RESHP argument block.
+func DecodeReshpArgs(p descriptor.Params) (ReshpArgs, error) {
+	if len(p) != 5 {
+		return ReshpArgs{}, fmt.Errorf("accel: RESHP expects 5 parameter fields, got %d", len(p))
+	}
+	return ReshpArgs{
+		Rows: i64Of(p[0]), Cols: i64Of(p[1]), Elem: ElemKind(i64Of(p[2])),
+		Src: descriptor.AddrOf(p[3]), Dst: descriptor.AddrOf(p[4]),
+	}, nil
+}

@@ -1,0 +1,350 @@
+package accel
+
+import (
+	"fmt"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/kernels"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// Work is the workload profile one accelerator invocation presents to the
+// memory system and datapath; the timing model converts it to time/energy.
+type Work struct {
+	Flops units.Flops
+	// InStream/OutStream are sequential DRAM traffic. When a pass chains two
+	// accelerators, the producer's OutStream and the consumer's InStream
+	// stay in tile-local memory instead (paper §2.2 / Figure 12a).
+	InStream  units.Bytes
+	OutStream units.Bytes
+	// Random is latency-bound, row-miss-prone traffic (SPMV gathers).
+	Random units.Bytes
+}
+
+// Total returns all DRAM bytes the invocation would move unchained.
+func (w Work) Total() units.Bytes { return w.InStream + w.OutStream + w.Random }
+
+// execute dispatches one accelerator invocation functionally against the
+// space (the accelerators in this reproduction really compute) and returns
+// its workload profile. it is the LOOP nest iteration vector used to
+// advance strided buffers.
+func execute(s *phys.Space, op descriptor.OpCode, p descriptor.Params, it IterVec) (Work, error) {
+	switch op {
+	case descriptor.OpAXPY:
+		a, err := DecodeAxpyArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return axpyCore(s, a.shift(it))
+	case descriptor.OpDOT:
+		a, err := DecodeDotArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return dotCore(s, a.shift(it))
+	case descriptor.OpGEMV:
+		a, err := DecodeGemvArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return gemvCore(s, a.shift(it))
+	case descriptor.OpSPMV:
+		a, err := DecodeSpmvArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return spmvCore(s, a)
+	case descriptor.OpRESMP:
+		a, err := DecodeResmpArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return resmpCore(s, a.shift(it))
+	case descriptor.OpFFT:
+		a, err := DecodeFFTArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return fftCore(s, a.shift(it))
+	case descriptor.OpRESHP:
+		a, err := DecodeReshpArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return reshpCore(s, a)
+	default:
+		return Work{}, fmt.Errorf("accel: no core for opcode %v", op)
+	}
+}
+
+// span returns the number of elements a strided vector touches.
+func span(n, inc int64) int {
+	if n <= 0 {
+		return 0
+	}
+	a := inc
+	if a < 0 {
+		a = -a
+	}
+	return int((n-1)*a + 1)
+}
+
+func axpyCore(s *phys.Space, a AxpyArgs) (Work, error) {
+	if a.N < 0 {
+		return Work{}, fmt.Errorf("accel: AXPY: negative n %d", a.N)
+	}
+	x, err := s.LoadFloat32s(a.X, span(a.N, a.IncX))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: AXPY x: %w", err)
+	}
+	y, err := s.LoadFloat32s(a.Y, span(a.N, a.IncY))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: AXPY y: %w", err)
+	}
+	if err := kernels.Saxpy(int(a.N), a.Alpha, x, int(a.IncX), y, int(a.IncY)); err != nil {
+		return Work{}, err
+	}
+	if err := s.StoreFloat32s(a.Y, y); err != nil {
+		return Work{}, err
+	}
+	return Work{
+		Flops:     kernels.SaxpyFlops(int(a.N)),
+		InStream:  units.Bytes(4 * (span(a.N, a.IncX) + span(a.N, a.IncY))),
+		OutStream: units.Bytes(4 * span(a.N, a.IncY)),
+	}, nil
+}
+
+func dotCore(s *phys.Space, a DotArgs) (Work, error) {
+	if a.N < 0 {
+		return Work{}, fmt.Errorf("accel: DOT: negative n %d", a.N)
+	}
+	if a.Complex {
+		x, err := s.LoadComplex64s(a.X, span(a.N, a.IncX))
+		if err != nil {
+			return Work{}, fmt.Errorf("accel: DOT x: %w", err)
+		}
+		y, err := s.LoadComplex64s(a.Y, span(a.N, a.IncY))
+		if err != nil {
+			return Work{}, fmt.Errorf("accel: DOT y: %w", err)
+		}
+		r, err := kernels.Cdotc(int(a.N), x, int(a.IncX), y, int(a.IncY))
+		if err != nil {
+			return Work{}, err
+		}
+		if err := s.StoreComplex64s(a.Out, []complex64{r}); err != nil {
+			return Work{}, err
+		}
+		return Work{
+			Flops:     kernels.CdotcFlops(int(a.N)),
+			InStream:  units.Bytes(8 * (span(a.N, a.IncX) + span(a.N, a.IncY))),
+			OutStream: 8,
+		}, nil
+	}
+	x, err := s.LoadFloat32s(a.X, span(a.N, a.IncX))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: DOT x: %w", err)
+	}
+	y, err := s.LoadFloat32s(a.Y, span(a.N, a.IncY))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: DOT y: %w", err)
+	}
+	r, err := kernels.Sdot(int(a.N), x, int(a.IncX), y, int(a.IncY))
+	if err != nil {
+		return Work{}, err
+	}
+	if err := s.WriteFloat32(a.Out, r); err != nil {
+		return Work{}, err
+	}
+	return Work{
+		Flops:     kernels.SdotFlops(int(a.N)),
+		InStream:  units.Bytes(4 * (span(a.N, a.IncX) + span(a.N, a.IncY))),
+		OutStream: 4,
+	}, nil
+}
+
+func gemvCore(s *phys.Space, a GemvArgs) (Work, error) {
+	if a.M < 0 || a.N < 0 || a.Lda < a.N {
+		return Work{}, fmt.Errorf("accel: GEMV: bad dimensions m=%d n=%d lda=%d", a.M, a.N, a.Lda)
+	}
+	matLen := 0
+	if a.M > 0 {
+		matLen = int((a.M-1)*a.Lda + a.N)
+	}
+	mat, err := s.LoadFloat32s(a.A, matLen)
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: GEMV A: %w", err)
+	}
+	x, err := s.LoadFloat32s(a.X, int(a.N))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: GEMV x: %w", err)
+	}
+	y, err := s.LoadFloat32s(a.Y, int(a.M))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: GEMV y: %w", err)
+	}
+	if err := kernels.Sgemv(int(a.M), int(a.N), a.Alpha, mat, int(a.Lda), x, a.Beta, y); err != nil {
+		return Work{}, err
+	}
+	if err := s.StoreFloat32s(a.Y, y); err != nil {
+		return Work{}, err
+	}
+	return Work{
+		Flops:     kernels.SgemvFlops(int(a.M), int(a.N)),
+		InStream:  units.Bytes(4 * (int64(matLen) + a.N + a.M)),
+		OutStream: units.Bytes(4 * a.M),
+	}, nil
+}
+
+func spmvCore(s *phys.Space, a SpmvArgs) (Work, error) {
+	if a.M < 0 || a.Cols < 0 || a.NNZ < 0 {
+		return Work{}, fmt.Errorf("accel: SPMV: negative dimensions")
+	}
+	rowPtr, err := s.ReadInt32s(a.RowPtr, int(a.M)+1)
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: SPMV rowPtr: %w", err)
+	}
+	colIdx, err := s.ReadInt32s(a.ColIdx, int(a.NNZ))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: SPMV colIdx: %w", err)
+	}
+	values, err := s.LoadFloat32s(a.Values, int(a.NNZ))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: SPMV values: %w", err)
+	}
+	x, err := s.LoadFloat32s(a.X, int(a.Cols))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: SPMV x: %w", err)
+	}
+	y := make([]float32, a.M)
+	if err := kernels.SpmvCSR(int(a.M), rowPtr, colIdx, values, x, y); err != nil {
+		return Work{}, err
+	}
+	if err := s.StoreFloat32s(a.Y, y); err != nil {
+		return Work{}, err
+	}
+	return Work{
+		Flops: kernels.SpmvFlops(int(a.NNZ)),
+		// Streams: values, indices, row pointers in; y out.
+		InStream:  units.Bytes(4 * (2*a.NNZ + a.M + 1)),
+		OutStream: units.Bytes(4 * a.M),
+		// Gathers of x are the random component.
+		Random: units.Bytes(4 * a.NNZ),
+	}, nil
+}
+
+func resmpCore(s *phys.Space, a ResmpArgs) (Work, error) {
+	if a.NIn < 2 || a.NOut < 0 {
+		return Work{}, fmt.Errorf("accel: RESMP: bad sizes in=%d out=%d", a.NIn, a.NOut)
+	}
+	if a.Kind >= ResmpComplex {
+		src, err := s.LoadComplex64s(a.Src, int(a.NIn))
+		if err != nil {
+			return Work{}, fmt.Errorf("accel: RESMP src: %w", err)
+		}
+		dst := make([]complex64, a.NOut)
+		if err := kernels.ResampleC64(src, dst, kernels.InterpKind(a.Kind-ResmpComplex)); err != nil {
+			return Work{}, err
+		}
+		if err := s.StoreComplex64s(a.Dst, dst); err != nil {
+			return Work{}, err
+		}
+		return Work{
+			Flops:     2 * kernels.ResampleFlops(int(a.NOut)),
+			InStream:  units.Bytes(8 * a.NIn),
+			OutStream: units.Bytes(8 * a.NOut),
+		}, nil
+	}
+	src, err := s.LoadFloat32s(a.Src, int(a.NIn))
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: RESMP src: %w", err)
+	}
+	dst := make([]float32, a.NOut)
+	if err := kernels.Resample(src, dst, kernels.InterpKind(a.Kind)); err != nil {
+		return Work{}, err
+	}
+	if err := s.StoreFloat32s(a.Dst, dst); err != nil {
+		return Work{}, err
+	}
+	return Work{
+		Flops:     kernels.ResampleFlops(int(a.NOut)),
+		InStream:  units.Bytes(4 * a.NIn),
+		OutStream: units.Bytes(4 * a.NOut),
+	}, nil
+}
+
+func fftCore(s *phys.Space, a FFTArgs) (Work, error) {
+	if a.N < 1 || a.HowMany < 1 {
+		return Work{}, fmt.Errorf("accel: FFT: bad sizes n=%d howmany=%d", a.N, a.HowMany)
+	}
+	total := int(a.N * a.HowMany)
+	data, err := s.LoadComplex64s(a.Src, total)
+	if err != nil {
+		return Work{}, fmt.Errorf("accel: FFT src: %w", err)
+	}
+	dir := kernels.Forward
+	if a.Inverse {
+		dir = kernels.Inverse
+	}
+	plan, err := kernels.NewFFTPlan(int(a.N), dir)
+	if err != nil {
+		return Work{}, err
+	}
+	if err := kernels.FFTBatch(plan, data, int(a.HowMany)); err != nil {
+		return Work{}, err
+	}
+	if err := s.StoreComplex64s(a.Dst, data); err != nil {
+		return Work{}, err
+	}
+	return Work{
+		Flops:     units.Flops(float64(a.HowMany)) * kernels.FFTFlops(int(a.N)),
+		InStream:  units.Bytes(8 * int64(total)),
+		OutStream: units.Bytes(8 * int64(total)),
+	}, nil
+}
+
+func reshpCore(s *phys.Space, a ReshpArgs) (Work, error) {
+	if a.Rows < 0 || a.Cols < 0 {
+		return Work{}, fmt.Errorf("accel: RESHP: negative dimensions")
+	}
+	n := int(a.Rows * a.Cols)
+	switch a.Elem {
+	case ElemF32:
+		src, err := s.LoadFloat32s(a.Src, n)
+		if err != nil {
+			return Work{}, fmt.Errorf("accel: RESHP src: %w", err)
+		}
+		dst := make([]float32, n)
+		if err := kernels.Transpose(int(a.Rows), int(a.Cols), src, dst); err != nil {
+			return Work{}, err
+		}
+		if err := s.StoreFloat32s(a.Dst, dst); err != nil {
+			return Work{}, err
+		}
+		return Work{
+			InStream:  units.Bytes(4 * int64(n)),
+			OutStream: units.Bytes(4 * int64(n)),
+		}, nil
+	case ElemC64:
+		src, err := s.LoadComplex64s(a.Src, n)
+		if err != nil {
+			return Work{}, fmt.Errorf("accel: RESHP src: %w", err)
+		}
+		dst := make([]complex64, n)
+		r, c := int(a.Rows), int(a.Cols)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				dst[j*r+i] = src[i*c+j]
+			}
+		}
+		if err := s.StoreComplex64s(a.Dst, dst); err != nil {
+			return Work{}, err
+		}
+		return Work{
+			InStream:  units.Bytes(8 * int64(n)),
+			OutStream: units.Bytes(8 * int64(n)),
+		}, nil
+	default:
+		return Work{}, fmt.Errorf("accel: RESHP: unknown element kind %d", a.Elem)
+	}
+}

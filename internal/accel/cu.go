@@ -1,0 +1,62 @@
+package accel
+
+import (
+	"fmt"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/units"
+)
+
+// ConfigUnit models the centralized configuration unit of the accelerator
+// layer (paper Figure 5): the Fetch Unit that transfers the accelerator
+// descriptor from the command space into the Instruction Memory over the
+// TSVs, and the Decode Unit that parses it pass by pass, configures the
+// switch logic of each tile, and initiates processing.
+type ConfigUnit struct {
+	// IMEMBytes is the instruction-memory capacity. The fetch unit
+	// transfers the *entire* descriptor (paper §2.2), so CR+IR+PR must fit.
+	IMEMBytes units.Bytes
+	// FetchBandwidth is the descriptor transfer rate from DRAM over the
+	// TSV bus (a single vault's worth of bandwidth).
+	FetchBandwidth units.BytesPerSec
+	// DecodeLatency is the per-instruction decode cost of the DU.
+	DecodeLatency units.Seconds
+}
+
+// DefaultConfigUnit sizes the CU for the MEALib layer: a 64 KiB IMEM (large
+// enough for thousands of instructions, small enough for the layer's area
+// budget) fed at one vault's bandwidth.
+func DefaultConfigUnit() ConfigUnit {
+	return ConfigUnit{
+		IMEMBytes:      64 * units.KiB,
+		FetchBandwidth: units.GBps(510.0 / 16.0),
+		DecodeLatency:  8 * units.Nanosecond, // a few cycles at 1 GHz
+	}
+}
+
+// Validate reports configuration errors.
+func (cu ConfigUnit) Validate() error {
+	if cu.IMEMBytes <= 0 || cu.FetchBandwidth <= 0 {
+		return fmt.Errorf("accel: config unit needs positive IMEM and fetch bandwidth")
+	}
+	return nil
+}
+
+// CheckCapacity verifies the descriptor fits the instruction memory — the
+// hardware limit on how much work one invocation can describe. (LOOP
+// blocks exist precisely so that millions of calls fit in a handful of
+// instructions.)
+func (cu ConfigUnit) CheckCapacity(d *descriptor.Descriptor) error {
+	if size := d.Size(); size > cu.IMEMBytes {
+		return fmt.Errorf("accel: descriptor (%v) exceeds instruction memory (%v); split the work or use LOOP compaction", size, cu.IMEMBytes)
+	}
+	return nil
+}
+
+// FetchDecodeTime returns the fetch-unit transfer time plus the decode-unit
+// parse time for the descriptor.
+func (cu ConfigUnit) FetchDecodeTime(d *descriptor.Descriptor) units.Seconds {
+	fetch := cu.FetchBandwidth.Time(d.Size())
+	decode := cu.DecodeLatency * units.Seconds(len(d.Instrs))
+	return fetch + decode
+}

@@ -1,0 +1,379 @@
+package accel
+
+import (
+	"fmt"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/noc"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// Layer is the accelerator layer of one memory stack: the tiles, their
+// accelerator cores, and the configuration unit (fetch unit, instruction
+// memory, decode unit) that executes accelerator descriptors (paper §2.2).
+type Layer struct {
+	cfg *Config
+}
+
+// NewLayer builds the layer from a validated configuration.
+func NewLayer(cfg *Config) (*Layer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Layer{cfg: cfg}, nil
+}
+
+// Config returns the layer configuration.
+func (l *Layer) Config() *Config { return l.cfg }
+
+// OpStats accumulates per-accelerator activity for the Figure 14 breakdown.
+type OpStats struct {
+	Invocations int64
+	Time        units.Seconds
+	Energy      units.Joules
+	Flops       units.Flops
+	Bytes       units.Bytes
+}
+
+// Report is the outcome of one descriptor execution.
+type Report struct {
+	Time   units.Seconds
+	Energy units.Joules
+	PerOp  map[descriptor.OpCode]*OpStats
+	// Comps counts accelerator activations (LOOP iterations included).
+	Comps int64
+	// NoCBytes is inter-tile traffic from hardware chaining.
+	NoCBytes units.Bytes
+	// FetchDecodeTime is the configuration unit's share of Time (fetch
+	// unit transfer + decode unit parsing).
+	FetchDecodeTime units.Seconds
+	// LMSpillBytes is chained intermediate traffic that exceeded the tile
+	// local memories and round-tripped through DRAM after all.
+	LMSpillBytes units.Bytes
+	// RemoteBytes is traffic to buffers living on remote memory stacks,
+	// which crossed the inter-stack links (paper §3.3).
+	RemoteBytes units.Bytes
+}
+
+func newReport() *Report {
+	return &Report{PerOp: make(map[descriptor.OpCode]*OpStats)}
+}
+
+func (r *Report) opStats(op descriptor.OpCode) *OpStats {
+	st := r.PerOp[op]
+	if st == nil {
+		st = &OpStats{}
+		r.PerOp[op] = st
+	}
+	return st
+}
+
+// add merges a single invocation into the report.
+func (r *Report) add(op descriptor.OpCode, w Work, c Cost) {
+	st := r.opStats(op)
+	st.Invocations++
+	st.Time += c.Time
+	st.Energy += c.Energy
+	st.Flops += w.Flops
+	st.Bytes += w.Total()
+	r.Time += c.Time
+	r.Energy += c.Energy
+	r.Comps++
+}
+
+// passInstr is one decoded comp within a pass.
+type passInstr struct {
+	op     descriptor.OpCode
+	params descriptor.Params
+}
+
+// execFunc evaluates one comp: functionally against a space, or
+// analytically via WorkOf.
+type execFunc func(op descriptor.OpCode, p descriptor.Params, it IterVec) (Work, error)
+
+// Run executes the descriptor encoded at base: the hardware flow of §2.2-2.3.
+// The CR command must be CmdStart; on completion the layer writes CmdDone.
+// Execution is functional (data in the space is really transformed) and
+// modelled (the report carries time and energy).
+func (l *Layer) Run(s *phys.Space, base phys.Addr) (*Report, error) {
+	cmd, err := descriptor.ReadCommand(s, base)
+	if err != nil {
+		return nil, err
+	}
+	if cmd != descriptor.CmdStart {
+		return nil, fmt.Errorf("accel: descriptor at %v not started (command %d)", base, cmd)
+	}
+	d, err := descriptor.Decode(s, base)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.cfg.CU.CheckCapacity(d); err != nil {
+		return nil, err
+	}
+	rep, err := l.interpret(d, func(op descriptor.OpCode, p descriptor.Params, it IterVec) (Work, error) {
+		return execute(s, op, p, it)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fd := l.cfg.CU.FetchDecodeTime(d)
+	rep.FetchDecodeTime = fd
+	rep.Time += fd
+	if err := descriptor.WriteCommand(s, base, descriptor.CmdDone); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// RunModel evaluates a descriptor analytically: same control flow, chaining
+// and loop accounting as Run, but workloads come from WorkOf instead of
+// functional execution, and iteration counts multiply analytically — so
+// paper-scale problems (gigabyte buffers, millions of LOOP iterations) cost
+// microseconds to evaluate. Used by the experiment harness.
+func (l *Layer) RunModel(d *descriptor.Descriptor) (*Report, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := l.cfg.CU.CheckCapacity(d); err != nil {
+		return nil, err
+	}
+	rep, err := l.interpretModel(d)
+	if err != nil {
+		return nil, err
+	}
+	fd := l.cfg.CU.FetchDecodeTime(d)
+	rep.FetchDecodeTime = fd
+	rep.Time += fd
+	return rep, nil
+}
+
+// interpret walks the instruction stream with the given comp evaluator.
+func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc) (*Report, error) {
+	rep := newReport()
+	var pass []passInstr
+	var loopPasses [][]passInstr
+	inLoop := false
+	var loopCounts descriptor.LoopCounts
+	comp := 0
+	for _, in := range d.Instrs {
+		switch in.Kind {
+		case descriptor.KindComp:
+			params, err := d.ParamsOf(comp)
+			comp++
+			if err != nil {
+				return nil, err
+			}
+			pass = append(pass, passInstr{op: in.Op, params: params})
+		case descriptor.KindEndPass:
+			if inLoop {
+				loopPasses = append(loopPasses, pass)
+			} else {
+				rep.Time += l.cfg.PassConfigLatency
+				if err := l.runPass(exec, pass, IterVec{}, rep); err != nil {
+					return nil, err
+				}
+			}
+			pass = nil
+		case descriptor.KindLoop:
+			inLoop = true
+			loopCounts = in.Counts
+			loopPasses = nil
+		case descriptor.KindEndLoop:
+			if err := l.runLoop(exec, loopCounts, loopPasses, rep); err != nil {
+				return nil, err
+			}
+			inLoop = false
+			loopPasses = nil
+		}
+	}
+	return rep, nil
+}
+
+// interpretModel is interpret with the analytic evaluator and O(1) loops:
+// one representative iteration is evaluated and scaled by the trip count
+// (every iteration of a hardware loop has identical cost; only addresses
+// differ).
+func (l *Layer) interpretModel(d *descriptor.Descriptor) (*Report, error) {
+	rep := newReport()
+	var pass []passInstr
+	var loopPasses [][]passInstr
+	inLoop := false
+	var loopCounts descriptor.LoopCounts
+	comp := 0
+	model := func(op descriptor.OpCode, p descriptor.Params, _ IterVec) (Work, error) {
+		return WorkOf(op, p)
+	}
+	for _, in := range d.Instrs {
+		switch in.Kind {
+		case descriptor.KindComp:
+			params, err := d.ParamsOf(comp)
+			comp++
+			if err != nil {
+				return nil, err
+			}
+			pass = append(pass, passInstr{op: in.Op, params: params})
+		case descriptor.KindEndPass:
+			if inLoop {
+				loopPasses = append(loopPasses, pass)
+			} else {
+				rep.Time += l.cfg.PassConfigLatency
+				if err := l.runPass(model, pass, IterVec{}, rep); err != nil {
+					return nil, err
+				}
+			}
+			pass = nil
+		case descriptor.KindLoop:
+			inLoop = true
+			loopCounts = in.Counts
+			loopPasses = nil
+		case descriptor.KindEndLoop:
+			iters := loopCounts.Total()
+			// Accelerators in the loop body are configured once (paper
+			// §2.2); each iteration pays only the dispatch latency.
+			rep.Time += l.cfg.PassConfigLatency * units.Seconds(len(loopPasses))
+			one := newReport()
+			for _, p := range loopPasses {
+				if err := l.runPass(model, p, IterVec{}, one); err != nil {
+					return nil, err
+				}
+			}
+			one.Time += l.iterDispatch()
+			rep.Time += one.Time * units.Seconds(iters)
+			rep.Energy += one.Energy * units.Joules(iters)
+			rep.Comps += one.Comps * iters
+			rep.NoCBytes += one.NoCBytes * units.Bytes(iters)
+			for op, st := range one.PerOp {
+				agg := rep.opStats(op)
+				agg.Invocations += st.Invocations * iters
+				agg.Time += st.Time * units.Seconds(iters)
+				agg.Energy += st.Energy * units.Joules(iters)
+				agg.Flops += st.Flops * units.Flops(iters)
+				agg.Bytes += st.Bytes * units.Bytes(iters)
+			}
+			inLoop = false
+			loopPasses = nil
+		}
+	}
+	return rep, nil
+}
+
+// iterDispatch is the amortised per-iteration initiation cost: the decode
+// unit dispatches iterations round-robin over the tiles.
+func (l *Layer) iterDispatch() units.Seconds {
+	return l.cfg.IterDispatchLatency / units.Seconds(l.cfg.Tiles)
+}
+
+// runLoop iterates the hardware loop nest over its passes, bumping the
+// iteration vector the way the decode unit advances buffer addresses.
+func (l *Layer) runLoop(exec execFunc, counts descriptor.LoopCounts, passes [][]passInstr, rep *Report) error {
+	rep.Time += l.cfg.PassConfigLatency * units.Seconds(len(passes))
+	var it IterVec
+	var step func(level int) error
+	step = func(level int) error {
+		if level == descriptor.MaxLoopLevels {
+			for _, p := range passes {
+				if err := l.runPass(exec, p, it, rep); err != nil {
+					return err
+				}
+			}
+			rep.Time += l.iterDispatch()
+			return nil
+		}
+		n := int64(counts[level])
+		if n < 1 {
+			n = 1
+		}
+		for k := int64(0); k < n; k++ {
+			it[level] = k
+			if err := step(level + 1); err != nil {
+				return err
+			}
+		}
+		it[level] = 0
+		return nil
+	}
+	return step(0)
+}
+
+// runPass executes one pass datapath: the comps run in order against the
+// space; chained intermediates move through tile-local memory over the NoC
+// instead of round-tripping through DRAM.
+func (l *Layer) runPass(exec execFunc, pass []passInstr, it IterVec, rep *Report) error {
+	if len(pass) == 0 {
+		return fmt.Errorf("accel: empty pass")
+	}
+	works := make([]Work, len(pass))
+	for i, pi := range pass {
+		w, err := exec(pi.op, pi.params, it)
+		if err != nil {
+			return err
+		}
+		works[i] = w
+	}
+	// Chaining: producer i hands its output to consumer i+1 through tile
+	// local memory (paper Figure 12a). Remove the DRAM round trip and charge
+	// the NoC instead. The intermediate is distributed across all tiles, so
+	// the transfer proceeds over Tiles one-hop links in parallel, and a
+	// sizeable fraction never leaves its producing tile at all.
+	adjusted := make([]Work, len(pass))
+	copy(adjusted, works)
+	var nocTime units.Seconds
+	var nocEnergy units.Joules
+	lmCap := l.cfg.LMBytes * units.Bytes(l.cfg.Tiles)
+	for i := 0; i+1 < len(pass); i++ {
+		chained := adjusted[i].OutStream
+		if adjusted[i+1].InStream < chained {
+			chained = adjusted[i+1].InStream
+		}
+		// Chained data is buffered in the tile local memories; anything
+		// beyond their aggregate capacity spills to DRAM after all
+		// (store-and-forward in LM-sized chunks would serialise the
+		// stages, which the hardware avoids by spilling).
+		if chained > lmCap {
+			rep.LMSpillBytes += chained - lmCap
+			chained = lmCap
+		}
+		adjusted[i].OutStream -= chained
+		adjusted[i+1].InStream -= chained
+		perLink := chained / units.Bytes(l.cfg.Tiles)
+		t, e := l.cfg.Mesh.Transfer(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0}, perLink)
+		nocTime += t
+		nocEnergy += e * units.Joules(l.cfg.Tiles) / 2 // ~half stays tile-local
+		rep.NoCBytes += chained
+	}
+	for i, pi := range pass {
+		c, err := l.cfg.OpCost(pi.op, adjusted[i])
+		if err != nil {
+			return err
+		}
+		// Remote-stack buffers stream over the inter-stack links instead of
+		// the local TSVs (paper §3.3: data should reside in the LMS).
+		remote, err := l.cfg.remoteBytes(pi.op, pi.params)
+		if err != nil {
+			return err
+		}
+		if remote > 0 {
+			extraT, extraE := l.cfg.remotePenalty(remote)
+			c.Time += extraT
+			c.Energy += extraE
+			rep.RemoteBytes += remote
+		}
+		rep.add(pi.op, works[i], c)
+	}
+	rep.Time += nocTime
+	rep.Energy += nocEnergy
+	return nil
+}
+
+// RunPlain is a convenience for host-free tests: it encodes the descriptor,
+// starts it, and runs it.
+func (l *Layer) RunPlain(s *phys.Space, d *descriptor.Descriptor, base phys.Addr) (*Report, error) {
+	if err := d.Encode(s, base); err != nil {
+		return nil, err
+	}
+	if err := descriptor.WriteCommand(s, base, descriptor.CmdStart); err != nil {
+		return nil, err
+	}
+	return l.Run(s, base)
+}

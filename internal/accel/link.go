@@ -1,0 +1,76 @@
+package accel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LinkController models the arbitration of paper §2.1: "The link controller
+// arbitrates ownership of the DRAM between the CPU and the memory-side
+// accelerators. We assume that the CPU and memory-side accelerators do not
+// operate on the DRAM simultaneously... when the data is processed by
+// accelerators, the accesses from the CPU are blocked by the link
+// controller."
+//
+// The runtime acquires the controller for the accelerators around every
+// descriptor execution; host-side buffer accesses consult HostMayAccess.
+// Because the simulation executes synchronously this is primarily a
+// correctness guard (a host access during accelerator ownership is a
+// programming error the real hardware would stall, and this model reports),
+// but it also gives the coherence story of §3.5 its missing half: the
+// wbinvd happens before ownership transfers, and ownership transfers back
+// only when the accelerators are done.
+type LinkController struct {
+	mu    sync.Mutex
+	owner linkOwner
+	// transfers counts ownership handovers (diagnostics).
+	transfers int64
+}
+
+type linkOwner int
+
+// Link ownership states.
+const (
+	ownerHost linkOwner = iota
+	ownerAccelerators
+)
+
+// AcquireForAccelerators transfers DRAM ownership to the accelerator side.
+// It fails if the accelerators already own the link (nested acquisition
+// means a runtime bug: descriptors execute one at a time).
+func (lc *LinkController) AcquireForAccelerators() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.owner == ownerAccelerators {
+		return fmt.Errorf("accel: link controller already owned by accelerators")
+	}
+	lc.owner = ownerAccelerators
+	lc.transfers++
+	return nil
+}
+
+// ReleaseToHost returns ownership to the host.
+func (lc *LinkController) ReleaseToHost() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.owner != ownerAccelerators {
+		return fmt.Errorf("accel: link controller not owned by accelerators")
+	}
+	lc.owner = ownerHost
+	lc.transfers++
+	return nil
+}
+
+// HostMayAccess reports whether host DRAM accesses are currently allowed.
+func (lc *LinkController) HostMayAccess() bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.owner == ownerHost
+}
+
+// Transfers returns the number of ownership handovers.
+func (lc *LinkController) Transfers() int64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.transfers
+}

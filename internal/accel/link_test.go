@@ -1,0 +1,62 @@
+package accel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLinkControllerLifecycle(t *testing.T) {
+	var lc LinkController
+	if !lc.HostMayAccess() {
+		t.Fatal("host must own the link initially")
+	}
+	if err := lc.AcquireForAccelerators(); err != nil {
+		t.Fatal(err)
+	}
+	if lc.HostMayAccess() {
+		t.Error("host access must be blocked while accelerators own the link")
+	}
+	if err := lc.AcquireForAccelerators(); err == nil {
+		t.Error("nested acquisition must fail")
+	}
+	if err := lc.ReleaseToHost(); err != nil {
+		t.Fatal(err)
+	}
+	if !lc.HostMayAccess() {
+		t.Error("host access must resume after release")
+	}
+	if err := lc.ReleaseToHost(); err == nil {
+		t.Error("double release must fail")
+	}
+	if lc.Transfers() != 2 {
+		t.Errorf("transfers = %d, want 2", lc.Transfers())
+	}
+}
+
+func TestLinkControllerConcurrency(t *testing.T) {
+	var lc LinkController
+	var wg sync.WaitGroup
+	acquired := make(chan struct{}, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := lc.AcquireForAccelerators(); err == nil {
+				acquired <- struct{}{}
+				_ = lc.ReleaseToHost()
+			}
+		}()
+	}
+	wg.Wait()
+	close(acquired)
+	n := 0
+	for range acquired {
+		n++
+	}
+	if n == 0 {
+		t.Error("at least one acquisition must succeed")
+	}
+	if !lc.HostMayAccess() {
+		t.Error("link must return to the host")
+	}
+}

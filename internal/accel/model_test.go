@@ -1,0 +1,228 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// TestRunModelMatchesFunctionalRun pins the analytic path (RunModel) to the
+// functional path (Run) for a descriptor exercising chaining and a loop:
+// identical time, energy and activation accounting.
+func TestRunModelMatchesFunctionalRun(t *testing.T) {
+	r := newRig(t)
+	n := 64
+	elems := n * n
+	src := make([]complex64, elems)
+	src[0] = 1
+	sa, ta := r.alloc(8*elems), r.alloc(8*elems)
+	if err := r.space.StoreComplex64s(sa, src); err != nil {
+		t.Fatal(err)
+	}
+	build := func(sa, ta phys.Addr) *descriptor.Descriptor {
+		d := &descriptor.Descriptor{}
+		_ = d.AddComp(descriptor.OpRESHP, ReshpArgs{
+			Rows: int64(n), Cols: int64(n), Elem: ElemC64, Src: sa, Dst: ta,
+		}.Params())
+		_ = d.AddComp(descriptor.OpFFT, FFTArgs{
+			N: int64(n), HowMany: int64(n), Src: ta, Dst: ta,
+		}.Params())
+		d.AddEndPass()
+		_ = d.AddLoop(4, 2)
+		_ = d.AddComp(descriptor.OpDOT, DotArgs{
+			N: 16, Complex: true, X: ta, Y: ta, Out: sa, IncX: 1, IncY: 1,
+			LoopStrideX: Lin(128), LoopStrideOut: Lin(8),
+		}.Params())
+		d.AddEndPass()
+		d.AddEndLoop()
+		return d
+	}
+	functional, err := r.layer.RunPlain(r.space, build(sa, ta), r.alloc(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := r.layer.RunModel(build(sa, ta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relT := math.Abs(float64(functional.Time-model.Time)) / float64(functional.Time)
+	if relT > 1e-9 {
+		t.Errorf("model time %v vs functional %v", model.Time, functional.Time)
+	}
+	relE := math.Abs(float64(functional.Energy-model.Energy)) / float64(functional.Energy)
+	if relE > 1e-9 {
+		t.Errorf("model energy %v vs functional %v", model.Energy, functional.Energy)
+	}
+	if functional.Comps != model.Comps {
+		t.Errorf("model comps %d vs functional %d", model.Comps, functional.Comps)
+	}
+	if functional.NoCBytes != model.NoCBytes {
+		t.Errorf("model NoC %v vs functional %v", model.NoCBytes, functional.NoCBytes)
+	}
+	for op, fs := range functional.PerOp {
+		ms := model.PerOp[op]
+		if ms == nil || ms.Invocations != fs.Invocations || ms.Flops != fs.Flops || ms.Bytes != fs.Bytes {
+			t.Errorf("%v per-op stats diverge: functional %+v model %+v", op, fs, ms)
+		}
+	}
+}
+
+// TestRunModelScalesLoopsInConstantWork checks the O(1)-per-loop evaluation:
+// a million-iteration loop must cost the same to *evaluate* as a one-
+// iteration loop (the reported hardware time scales, the wall time doesn't).
+func TestRunModelScalesLoopsInConstantWork(t *testing.T) {
+	layer, err := NewLayer(MEALibConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(iters uint32) *descriptor.Descriptor {
+		d := &descriptor.Descriptor{}
+		_ = d.AddLoop(iters)
+		_ = d.AddComp(descriptor.OpDOT, DotArgs{
+			N: 32, Complex: true, X: 0x1000, Y: 0x2000, Out: 0x3000, IncX: 1, IncY: 1,
+			LoopStrideX: Lin(256),
+		}.Params())
+		d.AddEndPass()
+		d.AddEndLoop()
+		return d
+	}
+	small, err := layer.RunModel(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := layer.RunModel(build(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Comps != int64(1<<20) {
+		t.Errorf("comps = %d", big.Comps)
+	}
+	// Hardware time scales with the iteration count (modulo the fixed
+	// per-pass configuration charge and the CU fetch/decode time).
+	fixedSmall := layer.Config().PassConfigLatency + small.FetchDecodeTime
+	fixedBig := layer.Config().PassConfigLatency + big.FetchDecodeTime
+	perIterSmall := float64(small.Time - fixedSmall)
+	perIterBig := float64(big.Time-fixedBig) / float64(1<<20)
+	if math.Abs(perIterSmall-perIterBig)/perIterSmall > 1e-6 {
+		t.Errorf("per-iteration time diverges: %g vs %g", perIterSmall, perIterBig)
+	}
+}
+
+func TestRunModelValidates(t *testing.T) {
+	layer, err := NewLayer(MEALibConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	_ = d.AddComp(descriptor.OpAXPY, nil) // unterminated pass
+	if _, err := layer.RunModel(d); err == nil {
+		t.Error("invalid descriptor must fail")
+	}
+}
+
+func TestOpRatesOverride(t *testing.T) {
+	cfg := MEALibConfig()
+	w := Work{Flops: 1e9} // pure compute
+	fft, err := cfg.OpCost(descriptor.OpFFT, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FFT runs on the 2 TFLOPS hardwired datapath.
+	want := units.Seconds(1e9 / 2000e9)
+	if math.Abs(float64(fft.Time-want))/float64(want) > 1e-9 {
+		t.Errorf("FFT compute time %v, want %v", fft.Time, want)
+	}
+	// RESHP has no override: the generic PE rate applies, but RESHP has no
+	// flops in practice; use GEMV's override instead.
+	gemv, err := cfg.OpCost(descriptor.OpGEMV, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gemv.Time <= fft.Time {
+		t.Error("GEMV's 512 GFLOPS datapath must be slower than FFT's 2 TFLOPS")
+	}
+}
+
+func TestConfigUnitCapacity(t *testing.T) {
+	cu := DefaultConfigUnit()
+	// A LOOP-compacted descriptor is tiny and always fits.
+	small := &descriptor.Descriptor{}
+	_ = small.AddLoop(1 << 24)
+	_ = small.AddComp(descriptor.OpDOT, DotArgs{N: 32, IncX: 1, IncY: 1}.Params())
+	small.AddEndPass()
+	small.AddEndLoop()
+	if err := cu.CheckCapacity(small); err != nil {
+		t.Errorf("compacted descriptor must fit IMEM: %v", err)
+	}
+	// Thousands of individual COMP instructions eventually exceed the IMEM
+	// — the hardware reason the compiler's LOOP compaction exists.
+	big := &descriptor.Descriptor{}
+	for i := 0; i < 4000; i++ {
+		_ = big.AddComp(descriptor.OpDOT, DotArgs{N: 32, IncX: 1, IncY: 1}.Params())
+		big.AddEndPass()
+	}
+	if err := cu.CheckCapacity(big); err == nil {
+		t.Error("4000 individual comps must exceed the 64 KiB IMEM")
+	}
+	layer, err := NewLayer(MEALibConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layer.RunModel(big); err == nil {
+		t.Error("RunModel must enforce IMEM capacity")
+	}
+}
+
+func TestConfigUnitFetchDecodeTime(t *testing.T) {
+	cu := DefaultConfigUnit()
+	if err := cu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d1 := &descriptor.Descriptor{}
+	_ = d1.AddComp(descriptor.OpAXPY, AxpyArgs{N: 1, IncX: 1, IncY: 1}.Params())
+	d1.AddEndPass()
+	d2 := &descriptor.Descriptor{}
+	for i := 0; i < 16; i++ {
+		_ = d2.AddComp(descriptor.OpAXPY, AxpyArgs{N: 1, IncX: 1, IncY: 1}.Params())
+		d2.AddEndPass()
+	}
+	if cu.FetchDecodeTime(d2) <= cu.FetchDecodeTime(d1) {
+		t.Error("bigger descriptors must take longer to fetch and decode")
+	}
+	bad := ConfigUnit{}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero config unit must fail validation")
+	}
+}
+
+func TestChainingSpillsBeyondLocalMemory(t *testing.T) {
+	layer, err := NewLayer(MEALibConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmCap := layer.Config().LMBytes * units.Bytes(layer.Config().Tiles)
+	// An intermediate far larger than the aggregate LM: most of it must
+	// spill to DRAM.
+	n := int64(lmCap) // complex64 elements -> 8x the LM capacity in bytes
+	d := &descriptor.Descriptor{}
+	_ = d.AddComp(descriptor.OpRESHP, ReshpArgs{Rows: 1, Cols: n, Elem: ElemC64, Src: 0x1000, Dst: 0x2000}.Params())
+	_ = d.AddComp(descriptor.OpFFT, FFTArgs{N: 64, HowMany: n / 64, Src: 0x2000, Dst: 0x2000}.Params())
+	d.AddEndPass()
+	rep, err := layer.RunModel(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LMSpillBytes == 0 {
+		t.Error("oversized intermediate must spill")
+	}
+	if rep.NoCBytes != lmCap {
+		t.Errorf("chained bytes = %v, want LM capacity %v", rep.NoCBytes, lmCap)
+	}
+	wantSpill := units.Bytes(8*n) - lmCap
+	if rep.LMSpillBytes != wantSpill {
+		t.Errorf("spill = %v, want %v", rep.LMSpillBytes, wantSpill)
+	}
+}

@@ -1,0 +1,152 @@
+package accel
+
+import (
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// span is one buffer an invocation streams, for locality classification
+// (paper §3.3: data should reside in the accelerator's Local Memory Stack;
+// remote-stack traffic crosses the inter-stack high-speed links).
+type bufSpan struct {
+	Addr  phys.Addr
+	Bytes units.Bytes
+}
+
+// spansOf lists the DRAM buffers one invocation touches, with their sizes.
+// The layer classifies each against the stack map to find remote traffic.
+func spansOf(op descriptor.OpCode, p descriptor.Params) ([]bufSpan, error) {
+	switch op {
+	case descriptor.OpAXPY:
+		a, err := DecodeAxpyArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		return []bufSpan{
+			{a.X, units.Bytes(4 * span64(a.N, a.IncX))},
+			{a.Y, units.Bytes(2 * 4 * span64(a.N, a.IncY))}, // read + write
+		}, nil
+	case descriptor.OpDOT:
+		a, err := DecodeDotArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		elem := int64(4)
+		if a.Complex {
+			elem = 8
+		}
+		return []bufSpan{
+			{a.X, units.Bytes(elem * span64(a.N, a.IncX))},
+			{a.Y, units.Bytes(elem * span64(a.N, a.IncY))},
+			{a.Out, units.Bytes(elem)},
+		}, nil
+	case descriptor.OpGEMV:
+		a, err := DecodeGemvArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		matLen := int64(0)
+		if a.M > 0 {
+			matLen = (a.M-1)*a.Lda + a.N
+		}
+		return []bufSpan{
+			{a.A, units.Bytes(4 * matLen)},
+			{a.X, units.Bytes(4 * a.N)},
+			{a.Y, units.Bytes(2 * 4 * a.M)},
+		}, nil
+	case descriptor.OpSPMV:
+		a, err := DecodeSpmvArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		return []bufSpan{
+			{a.RowPtr, units.Bytes(4 * (a.M + 1))},
+			{a.ColIdx, units.Bytes(4 * a.NNZ)},
+			{a.Values, units.Bytes(4 * a.NNZ)},
+			{a.X, units.Bytes(4 * a.NNZ)}, // gathers
+			{a.Y, units.Bytes(4 * a.M)},
+		}, nil
+	case descriptor.OpRESMP:
+		a, err := DecodeResmpArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		elem := int64(4)
+		if a.Kind >= ResmpComplex {
+			elem = 8
+		}
+		return []bufSpan{
+			{a.Src, units.Bytes(elem * a.NIn)},
+			{a.Dst, units.Bytes(elem * a.NOut)},
+		}, nil
+	case descriptor.OpFFT:
+		a, err := DecodeFFTArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		total := units.Bytes(8 * a.N * a.HowMany)
+		if a.Src == a.Dst {
+			return []bufSpan{{a.Src, 2 * total}}, nil
+		}
+		return []bufSpan{{a.Src, total}, {a.Dst, total}}, nil
+	case descriptor.OpRESHP:
+		a, err := DecodeReshpArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		elem := int64(4)
+		if a.Elem == ElemC64 {
+			elem = 8
+		}
+		n := units.Bytes(elem * a.Rows * a.Cols)
+		return []bufSpan{{a.Src, n}, {a.Dst, n}}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// span64 is span() for int64 operands.
+func span64(n, inc int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if inc < 0 {
+		inc = -inc
+	}
+	return (n-1)*inc + 1
+}
+
+// remoteBytes sums the traffic of spans living outside the home stack.
+func (c *Config) remoteBytes(op descriptor.OpCode, p descriptor.Params) (units.Bytes, error) {
+	if c.StackOf == nil {
+		return 0, nil
+	}
+	spans, err := spansOf(op, p)
+	if err != nil {
+		return 0, err
+	}
+	var remote units.Bytes
+	for _, s := range spans {
+		if stack := c.StackOf(s.Addr); stack >= 0 && stack != c.HomeStack {
+			remote += s.Bytes
+		}
+	}
+	return remote, nil
+}
+
+// remotePenalty converts remote traffic to the extra time and energy of
+// crossing the inter-stack links instead of the local TSVs.
+func (c *Config) remotePenalty(remote units.Bytes) (units.Seconds, units.Joules) {
+	if remote <= 0 || c.RemoteLinkBW <= 0 {
+		return 0, 0
+	}
+	linkT := c.RemoteLinkBW.Time(remote)
+	localT := c.StreamBandwidth().Time(remote)
+	extra := linkT - localT
+	if extra < 0 {
+		extra = 0
+	}
+	energy := units.Joules(float64(remote) * 8 * float64(c.ELinkBit))
+	return extra, energy
+}

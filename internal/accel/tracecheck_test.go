@@ -1,0 +1,101 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+
+	"mealib/internal/dram"
+	"mealib/internal/phys"
+	"mealib/internal/trace"
+	"mealib/internal/units"
+)
+
+// TestAnalyticBandwidthMatchesTraceSimulation closes the loop on the
+// paper's Figure 8 methodology: the accelerators' analytic cost model
+// (StreamBandwidth) must agree with the trace-driven DRAM simulator when
+// the same access stream is replayed through it.
+func TestAnalyticBandwidthMatchesTraceSimulation(t *testing.T) {
+	cfg := MEALibConfig()
+	sim, err := dram.NewSimulator(cfg.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The AXPY access pattern: two read streams and one write stream,
+	// interleaved as the accelerator issues them. The y stream is staggered
+	// by a few DRAM rows so the buffers do not sit on identical banks.
+	n := units.Bytes(4 << 20)
+	rowSpan := cfg.DRAM.RowBytes * units.Bytes(cfg.DRAM.Channels)
+	yBase := phys.Addr(0x4000_0000 + 3*rowSpan)
+	x := trace.Stream(0x0000_0000, n, cfg.DRAM.BlockBytes, false)
+	yr := trace.Stream(yBase, n, cfg.DRAM.BlockBytes, false)
+	yw := trace.Stream(yBase, n, cfg.DRAM.BlockBytes, true)
+	st := sim.Run(trace.Interleave(x, yr, yw))
+
+	analytic := cfg.StreamBandwidth().GBs()
+	simulated := st.Bandwidth().GBs()
+	rel := (simulated - analytic) / analytic
+	if rel < -0.20 || rel > 0.20 {
+		t.Errorf("trace-driven bandwidth %.1f GB/s vs analytic %.1f GB/s (%.0f%% apart)",
+			simulated, analytic, 100*rel)
+	}
+}
+
+// TestAnalyticRandomBandwidthMatchesTrace does the same for the
+// latency-bound gather model behind SPMV.
+func TestAnalyticRandomBandwidthMatchesTrace(t *testing.T) {
+	cfg := MEALibConfig()
+	sim, err := dram.NewSimulator(cfg.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gather pattern: pseudo-random addresses spread over banks and vaults,
+	// every access a row miss — the regime RandomBandwidth models.
+	rng := rand.New(rand.NewSource(3))
+	indices := make([]int32, 1<<15)
+	for i := range indices {
+		indices[i] = rng.Int31n(1 << 24)
+	}
+	tr := trace.Gather(0, indices, cfg.DRAM.AccessBytes, false)
+	st := sim.Run(tr)
+	analytic := cfg.RandomBandwidth().GBs()
+	simulated := st.Bandwidth().GBs()
+	rel := (simulated - analytic) / analytic
+	if rel < -0.3 || rel > 0.3 {
+		t.Errorf("trace-driven random bandwidth %.1f GB/s vs analytic %.1f GB/s (%.0f%% apart)",
+			simulated, analytic, 100*rel)
+	}
+	if st.RowHitRate() > 0.01 {
+		t.Errorf("gather pattern should miss every row, hit rate %.2f", st.RowHitRate())
+	}
+}
+
+// TestSingleBankStrideCollapses documents a real DRAM pathology the
+// simulator reproduces: a power-of-two stride that maps every access to the
+// same vault and bank serialises on that bank's row cycle, collapsing
+// throughput to a tiny fraction of peak. (The out-of-order controller hides
+// conflicts between *different* banks, but not a single-bank chain.)
+func TestSingleBankStrideCollapses(t *testing.T) {
+	cfg := MEALibConfig().DRAM
+	sim, err := dram.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride of 64 KiB: channel = block%16 and bank = row%8 are constant.
+	tr := trace.Strided(0, 1<<13, 64*units.KiB, cfg.AccessBytes, false)
+	st := sim.Run(tr)
+	collapsed := st.Bandwidth().GBs()
+	// One bank: one access per ~row cycle.
+	tRC := float64(cfg.TRAS + cfg.TRP + cfg.TRCD + cfg.TCL)
+	expected := float64(cfg.AccessBytes) / tRC / 1e9
+	if collapsed > 3*expected || collapsed < expected/3 {
+		t.Errorf("single-bank stride: %.2f GB/s, expected ~%.2f (one row cycle per access)",
+			collapsed, expected)
+	}
+	if st.RowHitRate() != 0 {
+		t.Errorf("every strided access must miss, hit rate %.2f", st.RowHitRate())
+	}
+	if collapsed > 0.05*cfg.PeakBandwidth().GBs() {
+		t.Errorf("pathological stride reaches %.1f GB/s, should be far below the %.0f GB/s peak",
+			collapsed, cfg.PeakBandwidth().GBs())
+	}
+}

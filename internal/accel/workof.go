@@ -1,0 +1,115 @@
+package accel
+
+import (
+	"fmt"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/kernels"
+	"mealib/internal/units"
+)
+
+// WorkOf computes the workload profile of an invocation without executing
+// it — the same formulas the functional cores report, evaluated from the
+// parameters alone. The experiment harness uses this for paper-scale
+// problem sizes where functionally transforming gigabytes per sweep point
+// would be pointless; tests pin WorkOf against the functional cores.
+func WorkOf(op descriptor.OpCode, p descriptor.Params) (Work, error) {
+	switch op {
+	case descriptor.OpAXPY:
+		a, err := DecodeAxpyArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return Work{
+			Flops:     kernels.SaxpyFlops(int(a.N)),
+			InStream:  units.Bytes(4 * (span(a.N, a.IncX) + span(a.N, a.IncY))),
+			OutStream: units.Bytes(4 * span(a.N, a.IncY)),
+		}, nil
+	case descriptor.OpDOT:
+		a, err := DecodeDotArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		if a.Complex {
+			return Work{
+				Flops:     kernels.CdotcFlops(int(a.N)),
+				InStream:  units.Bytes(8 * (span(a.N, a.IncX) + span(a.N, a.IncY))),
+				OutStream: 8,
+			}, nil
+		}
+		return Work{
+			Flops:     kernels.SdotFlops(int(a.N)),
+			InStream:  units.Bytes(4 * (span(a.N, a.IncX) + span(a.N, a.IncY))),
+			OutStream: 4,
+		}, nil
+	case descriptor.OpGEMV:
+		a, err := DecodeGemvArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		matLen := int64(0)
+		if a.M > 0 {
+			matLen = (a.M-1)*a.Lda + a.N
+		}
+		return Work{
+			Flops:     kernels.SgemvFlops(int(a.M), int(a.N)),
+			InStream:  units.Bytes(4 * (matLen + a.N + a.M)),
+			OutStream: units.Bytes(4 * a.M),
+		}, nil
+	case descriptor.OpSPMV:
+		a, err := DecodeSpmvArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		return Work{
+			Flops:     kernels.SpmvFlops(int(a.NNZ)),
+			InStream:  units.Bytes(4 * (2*a.NNZ + a.M + 1)),
+			OutStream: units.Bytes(4 * a.M),
+			Random:    units.Bytes(4 * a.NNZ),
+		}, nil
+	case descriptor.OpRESMP:
+		a, err := DecodeResmpArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		if a.Kind >= ResmpComplex {
+			return Work{
+				Flops:     2 * kernels.ResampleFlops(int(a.NOut)),
+				InStream:  units.Bytes(8 * a.NIn),
+				OutStream: units.Bytes(8 * a.NOut),
+			}, nil
+		}
+		return Work{
+			Flops:     kernels.ResampleFlops(int(a.NOut)),
+			InStream:  units.Bytes(4 * a.NIn),
+			OutStream: units.Bytes(4 * a.NOut),
+		}, nil
+	case descriptor.OpFFT:
+		a, err := DecodeFFTArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		total := a.N * a.HowMany
+		return Work{
+			Flops:     units.Flops(float64(a.HowMany)) * kernels.FFTFlops(int(a.N)),
+			InStream:  units.Bytes(8 * total),
+			OutStream: units.Bytes(8 * total),
+		}, nil
+	case descriptor.OpRESHP:
+		a, err := DecodeReshpArgs(p)
+		if err != nil {
+			return Work{}, err
+		}
+		elem := int64(4)
+		if a.Elem == ElemC64 {
+			elem = 8
+		}
+		n := a.Rows * a.Cols
+		return Work{
+			InStream:  units.Bytes(elem * n),
+			OutStream: units.Bytes(elem * n),
+		}, nil
+	default:
+		return Work{}, fmt.Errorf("accel: no work model for opcode %v", op)
+	}
+}

@@ -1,0 +1,79 @@
+package accel
+
+import (
+	"testing"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/kernels"
+	"mealib/internal/phys"
+)
+
+// TestWorkOfMatchesFunctionalCores pins the analytic work model to what the
+// functional cores actually report, for every accelerator.
+func TestWorkOfMatchesFunctionalCores(t *testing.T) {
+	r := newRig(t)
+	n := 64
+
+	// Prepare buffers big enough for all ops.
+	fa := r.alloc(4 * n * n)
+	fb := r.alloc(8 * n * n)
+	fc := r.alloc(8 * n * n)
+	_ = r.space.StoreFloat32s(fa, make([]float32, n*n))
+	_ = r.space.StoreComplex64s(fb, make([]complex64, n*n))
+	_ = r.space.StoreComplex64s(fc, make([]complex64, n*n))
+
+	rowPtr := make([]int32, n+1)
+	colIdx := make([]int32, 2*n)
+	values := make([]float32, 2*n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = int32(2 * (i + 1))
+		colIdx[2*i] = int32(i)
+		colIdx[2*i+1] = int32((i + 1) % n)
+		values[2*i] = 1
+		values[2*i+1] = 2
+	}
+	rpa, cia, va := r.alloc(4*(n+1)), r.alloc(8*n), r.alloc(8*n)
+	_ = r.space.WriteInt32s(rpa, rowPtr)
+	_ = r.space.WriteInt32s(cia, colIdx)
+	_ = r.space.StoreFloat32s(va, values)
+
+	cases := []struct {
+		name string
+		op   descriptor.OpCode
+		p    descriptor.Params
+	}{
+		{"axpy", descriptor.OpAXPY, AxpyArgs{N: int64(n), Alpha: 1, X: fa, Y: fa + phys.Addr(4*n), IncX: 1, IncY: 1}.Params()},
+		{"sdot", descriptor.OpDOT, DotArgs{N: int64(n), X: fa, Y: fa + phys.Addr(4*n), Out: fa + phys.Addr(8*n), IncX: 1, IncY: 1}.Params()},
+		{"cdotc", descriptor.OpDOT, DotArgs{N: int64(n), Complex: true, X: fb, Y: fb + phys.Addr(8*n), Out: fb + phys.Addr(16*n), IncX: 1, IncY: 1}.Params()},
+		{"gemv", descriptor.OpGEMV, GemvArgs{M: 8, N: 8, Alpha: 1, Beta: 0, A: fa, Lda: 8, X: fa + phys.Addr(4*64), Y: fa + phys.Addr(4*128)}.Params()},
+		{"spmv", descriptor.OpSPMV, SpmvArgs{M: int64(n), Cols: int64(n), NNZ: int64(2 * n), RowPtr: rpa, ColIdx: cia, Values: va, X: fa, Y: fa + phys.Addr(4*n)}.Params()},
+		{"resmp", descriptor.OpRESMP, ResmpArgs{NIn: int64(n), NOut: int64(2 * n), Kind: int64(kernels.InterpLinear), Src: fa, Dst: fa + phys.Addr(4*n)}.Params()},
+		{"fft", descriptor.OpFFT, FFTArgs{N: int64(n), HowMany: 2, Src: fb, Dst: fb}.Params()},
+		{"reshp-f32", descriptor.OpRESHP, ReshpArgs{Rows: 8, Cols: 8, Elem: ElemF32, Src: fa, Dst: fa + phys.Addr(4*64)}.Params()},
+		{"reshp-c64", descriptor.OpRESHP, ReshpArgs{Rows: 8, Cols: 8, Elem: ElemC64, Src: fb, Dst: fc}.Params()},
+	}
+	for _, c := range cases {
+		analytic, err := WorkOf(c.op, c.p)
+		if err != nil {
+			t.Errorf("%s: WorkOf: %v", c.name, err)
+			continue
+		}
+		functional, err := execute(r.space, c.op, c.p, IterVec{})
+		if err != nil {
+			t.Errorf("%s: execute: %v", c.name, err)
+			continue
+		}
+		if analytic != functional {
+			t.Errorf("%s: WorkOf %+v != functional %+v", c.name, analytic, functional)
+		}
+	}
+}
+
+func TestWorkOfErrors(t *testing.T) {
+	if _, err := WorkOf(descriptor.OpInvalid, nil); err == nil {
+		t.Error("invalid opcode must fail")
+	}
+	if _, err := WorkOf(descriptor.OpAXPY, descriptor.Params{1}); err == nil {
+		t.Error("short params must fail")
+	}
+}

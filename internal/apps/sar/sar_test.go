@@ -1,0 +1,173 @@
+package sar
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"mealib/internal/kernels"
+	"mealib/internal/mealibrt"
+	"mealib/internal/units"
+)
+
+func newPipeline(t *testing.T, p Params) *Pipeline {
+	t.Helper()
+	rt, err := mealibrt.New(mealibrt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(p, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.LoadRaw(3); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{Rows: 0, Width: 2, RawWidth: 2}).Validate(); err == nil {
+		t.Error("zero rows must fail")
+	}
+	if err := Square(64).Validate(); err != nil {
+		t.Error(err)
+	}
+	if Square(64).RawWidth != 80 {
+		t.Errorf("raw width = %d", Square(64).RawWidth)
+	}
+}
+
+func TestChainedMatchesReference(t *testing.T) {
+	p := Square(32)
+	pl := newPipeline(t, p)
+	inv, err := pl.FormImageChained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Report.Comps != int64(2*p.Rows) {
+		t.Errorf("comps = %d, want %d", inv.Report.Comps, 2*p.Rows)
+	}
+	if inv.Report.NoCBytes == 0 {
+		t.Error("chained rows must use the NoC")
+	}
+	// Reference: per-row complex resample then FFT.
+	raw, err := pl.raw.LoadComplex64s(0, p.Rows*p.RawWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p.Rows; r++ {
+		want := make([]complex64, p.Width)
+		if err := kernels.ResampleC64(raw[r*p.RawWidth:(r+1)*p.RawWidth], want, kernels.InterpLinear); err != nil {
+			t.Fatal(err)
+		}
+		if err := kernels.FFT(want, kernels.Forward); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if cmplx.Abs(complex128(got[r*p.Width+j]-want[j])) > 1e-3 {
+				t.Fatalf("image[%d][%d] = %v, want %v", r, j, got[r*p.Width+j], want[j])
+			}
+		}
+	}
+}
+
+func TestSeparateMatchesChained(t *testing.T) {
+	p := Square(32)
+	chained := newPipeline(t, p)
+	if _, err := chained.FormImageChained(); err != nil {
+		t.Fatal(err)
+	}
+	separate := newPipeline(t, p)
+	if _, _, err := separate.FormImageSeparate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := chained.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := separate.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("images differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Figure 12a: hardware chaining beats software chaining, and the advantage
+// shrinks as the problem grows (invocation overheads amortise).
+func TestFigure12aChainingAdvantage(t *testing.T) {
+	ratio := func(n int) float64 {
+		pl1 := newPipeline(t, Square(n))
+		hw, err := pl1.FormImageChained()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl2 := newPipeline(t, Square(n))
+		sw1, sw2, err := pl2.FormImageSeparate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		swTotal := sw1.TotalTime() + sw2.TotalTime()
+		return float64(swTotal) / float64(hw.TotalTime())
+	}
+	small := ratio(64)
+	large := ratio(256)
+	if small <= 1.2 {
+		t.Errorf("small-image chaining speedup %.2f, want well above 1 (paper: 2.5x at 256^2)", small)
+	}
+	if large >= small {
+		t.Errorf("chaining advantage must shrink with size: %.2f (64) vs %.2f (256)", small, large)
+	}
+	if large <= 1.0 {
+		t.Errorf("chaining must still win at larger sizes: %.2f", large)
+	}
+}
+
+func TestBuffersSized(t *testing.T) {
+	p := Square(16)
+	pl := newPipeline(t, p)
+	if pl.raw.Size() != units.Bytes(8*p.Rows*p.RawWidth) {
+		t.Error("raw buffer size")
+	}
+	if pl.image.Size() != units.Bytes(8*p.Rows*p.Width) {
+		t.Error("image buffer size")
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	rt, err := mealibrt.New(mealibrt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipeline(Params{Rows: 0, Width: 4, RawWidth: 4}, rt); err == nil {
+		t.Error("invalid params must fail")
+	}
+	// Exhaust the data space with an absurd image.
+	if _, err := NewPipeline(Params{Rows: 1 << 20, Width: 1 << 20, RawWidth: 1 << 20}, rt); err == nil {
+		t.Error("oversized image must fail allocation")
+	}
+}
+
+func TestChainedRunsReportInvocationCosts(t *testing.T) {
+	pl := newPipeline(t, Square(16))
+	inv, err := pl.FormImageChained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.OverheadTime <= 0 {
+		t.Error("invocation must charge flush + descriptor copy")
+	}
+	if inv.TotalTime() <= inv.Report.Time {
+		t.Error("total time must include the overhead")
+	}
+	if pl.Runtime.Stats().Invocations != 1 {
+		t.Errorf("invocations = %d", pl.Runtime.Stats().Invocations)
+	}
+}

@@ -1,0 +1,154 @@
+package stap
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"mealib/internal/kernels"
+	"mealib/internal/mealibrt"
+)
+
+// tinyParams is a functional-test-sized problem: NBlocks*Dof*TBS must fit
+// within NChan*NRange so the snapshot walk stays in the cube.
+func tinyParams() Params {
+	return Params{Name: "tiny", NChan: 4, NPulses: 8, NRange: 256,
+		NBlocks: 2, NSteering: 4, TDOF: 2, TBS: 16}
+}
+
+func newTinyPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	rt, err := mealibrt.New(mealibrt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(tinyParams(), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.LoadDatacube(7); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestPipelineDopplerProcess(t *testing.T) {
+	pl := newTinyPipeline(t)
+	inv, err := pl.DopplerProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One chained pass: two comps, intermediate over the NoC.
+	if inv.Report.Comps != 2 {
+		t.Errorf("comps = %d, want 2 (RESHP+FFT chained)", inv.Report.Comps)
+	}
+	if inv.Report.NoCBytes == 0 {
+		t.Error("chained pass must move the intermediate over the NoC")
+	}
+	// Verify against a direct computation.
+	p := pl.Params
+	raw, err := pl.datacube.LoadComplex64s(0, p.DatacubeElems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := p.NChan*p.NPulses, p.NRange
+	want := make([]complex64, len(raw))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			want[j*rows+i] = raw[i*cols+j]
+		}
+	}
+	plan, err := kernels.NewFFTPlan(p.NPulses, kernels.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kernels.FFTBatch(plan, want, p.NChan*p.NRange); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Doppler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(complex128(got[i]-want[i])) > 1e-3 {
+			t.Fatalf("doppler[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPipelineFull(t *testing.T) {
+	pl := newTinyPipeline(t)
+	if _, err := pl.DopplerProcess(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.SolveWeights(); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := pl.InnerProducts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pl.Params
+	wantComps := int64(p.NPulses * p.NBlocks * p.NSteering * p.TBS)
+	if inv.Report.Comps != wantComps {
+		t.Errorf("dot activations = %d, want %d", inv.Report.Comps, wantComps)
+	}
+	// Cross-check a sample of inner products against direct computation.
+	weights, err := pl.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := pl.Doppler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prods, err := pl.Prods()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Dof()
+	pairs := p.NPulses * p.NBlocks
+	for pair := 0; pair < pairs; pair += 3 {
+		for sv := 0; sv < p.NSteering; sv++ {
+			for cell := 0; cell < p.TBS; cell += 5 {
+				wOff := (pair*p.NSteering + sv) * n
+				yBase := pair*n*p.TBS + cell
+				var want complex64
+				for k := 0; k < n; k++ {
+					w := weights[wOff+k]
+					y := cube[yBase+k*p.TBS]
+					want += complex(real(w), -imag(w)) * y
+				}
+				got := prods[(pair*p.NSteering+sv)*p.TBS+cell]
+				if cmplx.Abs(complex128(got-want)) > 1e-2 {
+					t.Fatalf("prod[pair %d sv %d cell %d] = %v, want %v", pair, sv, cell, got, want)
+				}
+			}
+		}
+	}
+	// Three invocations total: doppler pass, (solve is host-side), dot loop.
+	if got := pl.Runtime.Stats().Invocations; got != 2 {
+		t.Errorf("accelerator invocations = %d, want 2", got)
+	}
+}
+
+func TestPipelineRejectsSingularTraining(t *testing.T) {
+	rt, err := mealibrt.New(mealibrt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyParams()
+	p.TBS = p.Dof() - 1 // underdetermined training
+	pl, err := NewPipeline(p, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.LoadDatacube(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.DopplerProcess(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.SolveWeights(); err == nil {
+		t.Error("TBS < DOF must be rejected")
+	}
+}

@@ -1,0 +1,74 @@
+// Package cache models the host cache hierarchy, in particular the cost of
+// the wbinvd write-back-and-invalidate MEALib issues before every
+// accelerator invocation to make accelerator-visible memory coherent
+// (paper §3.5). That flush, together with the descriptor copy, is the
+// "invocation cost" measured in Figures 12 and 14.
+package cache
+
+import "mealib/internal/units"
+
+// LineSize is the coherence granule.
+const LineSize = 64
+
+// Level describes one cache level.
+type Level struct {
+	Name    string
+	Size    units.Bytes
+	Latency units.Seconds // access latency
+}
+
+// Hierarchy is a host cache hierarchy with a flush cost model.
+type Hierarchy struct {
+	Levels []Level
+	// FlushBandwidth is the rate at which dirty lines drain to DRAM during
+	// wbinvd (bounded by memory write bandwidth).
+	FlushBandwidth units.BytesPerSec
+	// FlushBase is the fixed cost of the instruction itself (pipeline drain,
+	// all-core rendezvous).
+	FlushBase units.Seconds
+	// LineEnergy is the energy to write back one dirty line.
+	LineEnergy units.Joules
+}
+
+// Haswell returns the hierarchy of the paper's i7-4770K baseline
+// (32 KiB L1D, 256 KiB L2 per core, 8 MiB shared L3).
+func Haswell() *Hierarchy {
+	return &Hierarchy{
+		Levels: []Level{
+			{Name: "L1D", Size: 32 * units.KiB, Latency: 4 * 0.286 * units.Nanosecond},
+			{Name: "L2", Size: 256 * units.KiB, Latency: 12 * 0.286 * units.Nanosecond},
+			{Name: "L3", Size: 8 * units.MiB, Latency: 36 * 0.286 * units.Nanosecond},
+		},
+		// Write-back drain is bounded by DRAM write bandwidth (~1/2 of the
+		// 25.6 GB/s channel peak in practice).
+		FlushBandwidth: units.GBps(12.8),
+		// wbinvd serialises the machine; tens of microseconds on Haswell.
+		FlushBase: 20 * units.Microsecond,
+		// ~64B over a DDR3 channel at ~60 pJ/bit incl. queues.
+		LineEnergy: units.Joules(64 * 8 * 60e-12),
+	}
+}
+
+// LLC returns the last-level cache size (the bound on dirty data).
+func (h *Hierarchy) LLC() units.Bytes {
+	if len(h.Levels) == 0 {
+		return 0
+	}
+	return h.Levels[len(h.Levels)-1].Size
+}
+
+// FlushCost returns the time and energy of a wbinvd when dirty bytes of the
+// working set may reside in the hierarchy. Dirty data is capped at the LLC
+// size: the hierarchy cannot hold more modified data than it has capacity.
+func (h *Hierarchy) FlushCost(dirty units.Bytes) (units.Seconds, units.Joules) {
+	if dirty < 0 {
+		dirty = 0
+	}
+	if llc := h.LLC(); dirty > llc {
+		dirty = llc
+	}
+	lines := (dirty + LineSize - 1) / LineSize
+	t := h.FlushBase + h.FlushBandwidth.Time(dirty)
+	e := units.Joules(float64(lines)) * h.LineEnergy
+	return t, e
+}

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mealib/internal/units"
+)
+
+func TestHaswellShape(t *testing.T) {
+	h := Haswell()
+	if len(h.Levels) != 3 {
+		t.Fatalf("Haswell has %d levels", len(h.Levels))
+	}
+	if h.LLC() != 8*units.MiB {
+		t.Errorf("LLC = %v, want 8MiB", h.LLC())
+	}
+	for i := 1; i < len(h.Levels); i++ {
+		if h.Levels[i].Size <= h.Levels[i-1].Size {
+			t.Errorf("level %d not larger than level %d", i, i-1)
+		}
+		if h.Levels[i].Latency <= h.Levels[i-1].Latency {
+			t.Errorf("level %d not slower than level %d", i, i-1)
+		}
+	}
+}
+
+func TestFlushCostBase(t *testing.T) {
+	h := Haswell()
+	t0, e0 := h.FlushCost(0)
+	if t0 != h.FlushBase {
+		t.Errorf("zero dirty data: time %v, want base %v", t0, h.FlushBase)
+	}
+	if e0 != 0 {
+		t.Errorf("zero dirty data: energy %v, want 0", e0)
+	}
+}
+
+func TestFlushCostCappedAtLLC(t *testing.T) {
+	h := Haswell()
+	tLLC, eLLC := h.FlushCost(h.LLC())
+	tBig, eBig := h.FlushCost(100 * units.GiB)
+	if tBig != tLLC || eBig != eLLC {
+		t.Error("dirty data beyond LLC capacity must not increase flush cost")
+	}
+}
+
+func TestFlushCostNegativeClamped(t *testing.T) {
+	h := Haswell()
+	tn, en := h.FlushCost(-units.MiB)
+	t0, e0 := h.FlushCost(0)
+	if tn != t0 || en != e0 {
+		t.Error("negative dirty size must clamp to zero")
+	}
+}
+
+func TestPropertyFlushMonotone(t *testing.T) {
+	h := Haswell()
+	f := func(a, b uint32) bool {
+		x, y := units.Bytes(a), units.Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		tx, ex := h.FlushCost(x)
+		ty, ey := h.FlushCost(y)
+		return tx <= ty && ex <= ey
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

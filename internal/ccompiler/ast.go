@@ -1,0 +1,348 @@
+package ccompiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one element of the statement tree.
+type Node interface {
+	emit(b *strings.Builder, indent string)
+}
+
+// Simple is a plain statement (everything up to ';').
+type Simple struct {
+	Toks []Token
+	// replacement, when non-empty, is emitted instead of the tokens —
+	// how the compiler rewrites library and allocation calls.
+	replacement []string
+}
+
+// PragmaLine is a preprocessor line (#include, #define, #pragma ...).
+type PragmaLine struct {
+	Text string
+	Line int
+}
+
+// ForNode is a for loop with a parsed header.
+type ForNode struct {
+	Init, Cond, Post []Token
+	Body             *BlockNode
+	// OMP marks an attached "#pragma omp parallel for".
+	OMP bool
+	// replaced marks the whole loop as rewritten (loop compaction); the
+	// replacement lines are emitted instead.
+	replacement []string
+}
+
+// BracedNode is any header followed by a braced body: function definitions,
+// if/else, while, switch.
+type BracedNode struct {
+	Header []Token
+	Body   *BlockNode
+}
+
+// BlockNode is a sequence of nodes.
+type BlockNode struct {
+	Nodes []Node
+}
+
+// cparser walks the token stream.
+type cparser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *cparser) peek() Token { return p.toks[p.pos] }
+
+func (p *cparser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// ParseC builds the statement tree for a whole translation unit.
+func ParseC(toks []Token) (*BlockNode, error) {
+	p := &cparser{toks: toks}
+	blk, err := p.parseBlock(false)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, fmt.Errorf("ccompiler: line %d: unexpected %s", p.peek().Line, p.peek())
+	}
+	return blk, nil
+}
+
+// parseBlock parses until '}' (when inBraces) or EOF.
+func (p *cparser) parseBlock(inBraces bool) (*BlockNode, error) {
+	blk := &BlockNode{}
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == TokEOF:
+			if inBraces {
+				return nil, fmt.Errorf("ccompiler: line %d: missing '}'", t.Line)
+			}
+			return blk, nil
+		case t.Kind == TokPunct && t.Text == "}":
+			if !inBraces {
+				return nil, fmt.Errorf("ccompiler: line %d: unexpected '}'", t.Line)
+			}
+			p.next()
+			return blk, nil
+		case t.Kind == TokPragma:
+			p.next()
+			blk.Nodes = append(blk.Nodes, &PragmaLine{Text: t.Text, Line: t.Line})
+		case t.Kind == TokIdent && t.Text == "for":
+			f, err := p.parseFor()
+			if err != nil {
+				return nil, err
+			}
+			blk.Nodes = append(blk.Nodes, f)
+		case t.Kind == TokPunct && t.Text == "{":
+			p.next()
+			inner, err := p.parseBlock(true)
+			if err != nil {
+				return nil, err
+			}
+			blk.Nodes = append(blk.Nodes, &BracedNode{Body: inner})
+		default:
+			n, err := p.parseSimpleOrBraced()
+			if err != nil {
+				return nil, err
+			}
+			blk.Nodes = append(blk.Nodes, n)
+		}
+	}
+}
+
+// parseFor parses "for (init; cond; post) body".
+func (p *cparser) parseFor() (*ForNode, error) {
+	kw := p.next() // "for"
+	if t := p.next(); !(t.Kind == TokPunct && t.Text == "(") {
+		return nil, fmt.Errorf("ccompiler: line %d: expected '(' after for", kw.Line)
+	}
+	var parts [][]Token
+	var cur []Token
+	depth := 0
+	for {
+		t := p.next()
+		if t.Kind == TokEOF {
+			return nil, fmt.Errorf("ccompiler: line %d: unterminated for header", kw.Line)
+		}
+		if t.Kind == TokPunct {
+			switch t.Text {
+			case "(", "[":
+				depth++
+			case ")", "]":
+				if t.Text == ")" && depth == 0 {
+					parts = append(parts, cur)
+					goto headerDone
+				}
+				depth--
+			case ";":
+				if depth == 0 {
+					parts = append(parts, cur)
+					cur = nil
+					continue
+				}
+			}
+		}
+		cur = append(cur, t)
+	}
+headerDone:
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("ccompiler: line %d: for header has %d clauses, want 3", kw.Line, len(parts))
+	}
+	f := &ForNode{Init: parts[0], Cond: parts[1], Post: parts[2]}
+	// Body: braced block, nested for, or single statement.
+	switch t := p.peek(); {
+	case t.Kind == TokPunct && t.Text == "{":
+		p.next()
+		body, err := p.parseBlock(true)
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+	case t.Kind == TokIdent && t.Text == "for":
+		inner, err := p.parseFor()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = &BlockNode{Nodes: []Node{inner}}
+	default:
+		stmt, err := p.parseSimpleOrBraced()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = &BlockNode{Nodes: []Node{stmt}}
+	}
+	return f, nil
+}
+
+// parseSimpleOrBraced accumulates a statement; if a top-level '{' appears
+// outside an initializer it becomes a BracedNode (function definition,
+// if/while header).
+func (p *cparser) parseSimpleOrBraced() (Node, error) {
+	var toks []Token
+	depth := 0
+	sawAssign := false
+	for {
+		t := p.peek()
+		if t.Kind == TokEOF {
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("ccompiler: unexpected end of file")
+			}
+			return nil, fmt.Errorf("ccompiler: line %d: statement missing ';'", toks[0].Line)
+		}
+		if t.Kind == TokPunct {
+			switch t.Text {
+			case "(", "[":
+				depth++
+			case ")", "]":
+				depth--
+			case "=":
+				sawAssign = true
+			case ";":
+				if depth == 0 {
+					p.next()
+					return &Simple{Toks: toks}, nil
+				}
+			case "{":
+				if depth == 0 && !sawAssign {
+					p.next()
+					body, err := p.parseBlock(true)
+					if err != nil {
+						return nil, err
+					}
+					return &BracedNode{Header: toks, Body: body}, nil
+				}
+				if depth == 0 && sawAssign {
+					// Initializer list: swallow the braces into the
+					// statement tokens until the matching '}'.
+					braces := 0
+					for {
+						bt := p.next()
+						if bt.Kind == TokEOF {
+							return nil, fmt.Errorf("ccompiler: line %d: unterminated initializer", t.Line)
+						}
+						toks = append(toks, bt)
+						if bt.Kind == TokPunct && bt.Text == "{" {
+							braces++
+						}
+						if bt.Kind == TokPunct && bt.Text == "}" {
+							braces--
+							if braces == 0 {
+								break
+							}
+						}
+					}
+					continue
+				}
+			}
+		}
+		p.next()
+		toks = append(toks, t)
+	}
+}
+
+// --- emission ---
+
+// Emit renders the (possibly transformed) tree back to C source.
+func Emit(blk *BlockNode) string {
+	var b strings.Builder
+	blk.emit(&b, "")
+	return b.String()
+}
+
+func (n *BlockNode) emit(b *strings.Builder, indent string) {
+	for _, node := range n.Nodes {
+		node.emit(b, indent)
+	}
+}
+
+func (n *Simple) emit(b *strings.Builder, indent string) {
+	if len(n.replacement) > 0 {
+		for _, line := range n.replacement {
+			b.WriteString(indent)
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+		return
+	}
+	b.WriteString(indent)
+	b.WriteString(renderTokens(n.Toks))
+	b.WriteString(";\n")
+}
+
+func (n *PragmaLine) emit(b *strings.Builder, indent string) {
+	b.WriteString(indent)
+	b.WriteString(n.Text)
+	b.WriteString("\n")
+}
+
+func (n *ForNode) emit(b *strings.Builder, indent string) {
+	if len(n.replacement) > 0 {
+		for _, line := range n.replacement {
+			b.WriteString(indent)
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+		return
+	}
+	fmt.Fprintf(b, "%sfor (%s; %s; %s) {\n", indent,
+		renderTokens(n.Init), renderTokens(n.Cond), renderTokens(n.Post))
+	n.Body.emit(b, indent+"  ")
+	b.WriteString(indent)
+	b.WriteString("}\n")
+}
+
+func (n *BracedNode) emit(b *strings.Builder, indent string) {
+	b.WriteString(indent)
+	if len(n.Header) > 0 {
+		b.WriteString(renderTokens(n.Header))
+		b.WriteString(" ")
+	}
+	b.WriteString("{\n")
+	n.Body.emit(b, indent+"  ")
+	b.WriteString(indent)
+	b.WriteString("}\n")
+}
+
+// renderTokens joins tokens with minimal spacing.
+func renderTokens(toks []Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 && needSpace(toks[i-1], t) {
+			b.WriteString(" ")
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+func needSpace(a, b Token) bool {
+	tight := func(s string) bool {
+		switch s {
+		case "(", ")", "[", "]", ",", ";", ".", "->", "&", "*", "++", "--":
+			return true
+		}
+		return false
+	}
+	if a.Kind == TokPunct && (a.Text == "(" || a.Text == "[" || a.Text == "." || a.Text == "->") {
+		return false
+	}
+	if b.Kind == TokPunct && tight(b.Text) && b.Text != "&" && b.Text != "*" {
+		return false
+	}
+	if b.Kind == TokPunct && (b.Text == "&" || b.Text == "*") {
+		return true
+	}
+	if a.Kind == TokPunct && (a.Text == "&" && b.Kind == TokIdent) {
+		return false
+	}
+	return true
+}

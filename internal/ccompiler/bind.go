@@ -1,0 +1,367 @@
+package ccompiler
+
+import (
+	"fmt"
+	"strings"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+)
+
+// BoundBuffer ties a source-level buffer name to its physically contiguous
+// allocation.
+type BoundBuffer struct {
+	PA phys.Addr
+	// Elems is the element count (used to derive __nnz_/__cols_ symbols
+	// for SPMV).
+	Elems int64
+}
+
+// Binding supplies the run-time values a generated plan needs: buffer
+// addresses and the integer/float symbols its expressions reference. It is
+// what linking the transformed program against the MEALib runtime provides.
+type Binding struct {
+	Buffers map[string]BoundBuffer
+	Ints    map[string]int64
+	Floats  map[string]float32
+}
+
+// ints returns the symbol table including the derived __nnz_/__cols_
+// pseudo-symbols.
+func (b *Binding) ints() map[string]int64 {
+	out := make(map[string]int64, len(b.Ints)+2*len(b.Buffers))
+	for k, v := range b.Ints {
+		out[k] = v
+	}
+	for name, buf := range b.Buffers {
+		out["__nnz_"+name] = buf.Elems
+		out["__cols_"+name] = buf.Elems
+	}
+	return out
+}
+
+// Bind resolves a generated plan against a binding, producing the TDL text
+// and concrete parameter table ready for mealibrt.Runtime.AccPlan.
+func Bind(plan *Plan, b *Binding) (string, map[string]descriptor.Params, error) {
+	if b == nil || b.Buffers == nil {
+		return "", nil, fmt.Errorf("ccompiler: nil binding")
+	}
+	params := make(map[string]descriptor.Params, len(plan.Calls))
+	for _, pc := range plan.Calls {
+		p, err := bindCall(pc, b)
+		if err != nil {
+			return "", nil, fmt.Errorf("ccompiler: bind %s (line %d): %w", pc.Sym.Name, pc.Sym.Line, err)
+		}
+		params[pc.ParamRef] = p
+	}
+	return plan.TDL, params, nil
+}
+
+// resolve evaluates one symbolic field.
+func (pcb *callBinder) resolve(fi int) (uint64, error) {
+	f := pcb.pc.Sym.Fields[fi]
+	switch f.Kind {
+	case FieldInt:
+		v, err := EvalInt(f.Expr, pcb.ints)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(v), nil
+	case FieldF32:
+		v, err := EvalF32(f.Expr, pcb.ints, pcb.b.Floats)
+		if err != nil {
+			return 0, err
+		}
+		return descriptor.F32Field(v), nil
+	case FieldBuf:
+		a, err := pcb.bufAddr(fi)
+		if err != nil {
+			return 0, err
+		}
+		return descriptor.AddrField(a), nil
+	default:
+		return 0, nil
+	}
+}
+
+// callBinder resolves the fields of one planned call.
+type callBinder struct {
+	pc   *PlannedCall
+	b    *Binding
+	ints map[string]int64
+}
+
+// bufAddr resolves a buffer field to a physical address including its
+// constant index offset.
+func (pcb *callBinder) bufAddr(fi int) (phys.Addr, error) {
+	ref := pcb.pc.Sym.Fields[fi].Buf
+	name := ref.Name
+	buf, ok := pcb.b.Buffers[name]
+	if !ok {
+		return 0, fmt.Errorf("unbound buffer %q", name)
+	}
+	addr := buf.PA
+	for _, term := range pcb.pc.Offsets[fi] {
+		v, err := EvalInt(term.Expr, pcb.ints)
+		if err != nil {
+			return 0, fmt.Errorf("offset of %q: %w", ref, err)
+		}
+		addr += phys.Addr(v * term.Mult)
+	}
+	return addr, nil
+}
+
+// intOf resolves an integer field by position.
+func (pcb *callBinder) intOf(fi int) (int64, error) {
+	v, err := pcb.resolve(fi)
+	return int64(v), err
+}
+
+// f32Of resolves a float field by position.
+func (pcb *callBinder) f32Of(fi int) (float32, error) {
+	v, err := pcb.resolve(fi)
+	return descriptor.F32Of(v), err
+}
+
+// strides returns the field's per-level strides as accel.Strides.
+func (pcb *callBinder) strides(fi int) accel.Strides {
+	var s accel.Strides
+	raw := pcb.pc.Strides[fi]
+	for i := range s {
+		s[i] = raw[i]
+	}
+	return s
+}
+
+// bindCall assembles the concrete accelerator argument block for one call.
+func bindCall(pc *PlannedCall, b *Binding) (descriptor.Params, error) {
+	pcb := &callBinder{pc: pc, b: b, ints: b.ints()}
+	sym := pc.Sym
+	fail := func(err error) (descriptor.Params, error) { return nil, err }
+	switch sym.Op {
+	case descriptor.OpAXPY:
+		n, err := pcb.intOf(0)
+		if err != nil {
+			return fail(err)
+		}
+		alpha, err := pcb.f32Of(1)
+		if err != nil {
+			return fail(err)
+		}
+		x, err := pcb.bufAddr(2)
+		if err != nil {
+			return fail(err)
+		}
+		y, err := pcb.bufAddr(3)
+		if err != nil {
+			return fail(err)
+		}
+		incx, err := pcb.intOf(4)
+		if err != nil {
+			return fail(err)
+		}
+		incy, err := pcb.intOf(5)
+		if err != nil {
+			return fail(err)
+		}
+		return accel.AxpyArgs{
+			N: n, Alpha: alpha, X: x, Y: y, IncX: incx, IncY: incy,
+			LoopStrideX: pcb.strides(2), LoopStrideY: pcb.strides(3),
+		}.Params(), nil
+	case descriptor.OpDOT:
+		n, err := pcb.intOf(0)
+		if err != nil {
+			return fail(err)
+		}
+		cplx, err := pcb.intOf(1)
+		if err != nil {
+			return fail(err)
+		}
+		x, err := pcb.bufAddr(2)
+		if err != nil {
+			return fail(err)
+		}
+		y, err := pcb.bufAddr(3)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := pcb.bufAddr(4)
+		if err != nil {
+			return fail(err)
+		}
+		incx, err := pcb.intOf(5)
+		if err != nil {
+			return fail(err)
+		}
+		incy, err := pcb.intOf(6)
+		if err != nil {
+			return fail(err)
+		}
+		return accel.DotArgs{
+			N: n, Complex: cplx != 0, X: x, Y: y, Out: out, IncX: incx, IncY: incy,
+			LoopStrideX: pcb.strides(2), LoopStrideY: pcb.strides(3), LoopStrideOut: pcb.strides(4),
+		}.Params(), nil
+	case descriptor.OpGEMV:
+		m, err := pcb.intOf(0)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := pcb.intOf(1)
+		if err != nil {
+			return fail(err)
+		}
+		alpha, err := pcb.f32Of(2)
+		if err != nil {
+			return fail(err)
+		}
+		beta, err := pcb.f32Of(3)
+		if err != nil {
+			return fail(err)
+		}
+		a, err := pcb.bufAddr(4)
+		if err != nil {
+			return fail(err)
+		}
+		lda, err := pcb.intOf(5)
+		if err != nil {
+			return fail(err)
+		}
+		x, err := pcb.bufAddr(6)
+		if err != nil {
+			return fail(err)
+		}
+		y, err := pcb.bufAddr(7)
+		if err != nil {
+			return fail(err)
+		}
+		return accel.GemvArgs{
+			M: m, N: n, Alpha: alpha, Beta: beta, A: a, Lda: lda, X: x, Y: y,
+			LoopStrideA: pcb.strides(4), LoopStrideX: pcb.strides(6), LoopStrideY: pcb.strides(7),
+		}.Params(), nil
+	case descriptor.OpSPMV:
+		m, err := pcb.intOf(0)
+		if err != nil {
+			return fail(err)
+		}
+		cols, err := pcb.intOf(1)
+		if err != nil {
+			return fail(err)
+		}
+		nnz, err := pcb.intOf(2)
+		if err != nil {
+			return fail(err)
+		}
+		rp, err := pcb.bufAddr(3)
+		if err != nil {
+			return fail(err)
+		}
+		ci, err := pcb.bufAddr(4)
+		if err != nil {
+			return fail(err)
+		}
+		vals, err := pcb.bufAddr(5)
+		if err != nil {
+			return fail(err)
+		}
+		x, err := pcb.bufAddr(6)
+		if err != nil {
+			return fail(err)
+		}
+		y, err := pcb.bufAddr(7)
+		if err != nil {
+			return fail(err)
+		}
+		return accel.SpmvArgs{M: m, Cols: cols, NNZ: nnz, RowPtr: rp, ColIdx: ci, Values: vals, X: x, Y: y}.Params(), nil
+	case descriptor.OpRESMP:
+		nin, err := pcb.intOf(0)
+		if err != nil {
+			return fail(err)
+		}
+		nout, err := pcb.intOf(1)
+		if err != nil {
+			return fail(err)
+		}
+		kind, err := pcb.intOf(2)
+		if err != nil {
+			return fail(err)
+		}
+		src, err := pcb.bufAddr(3)
+		if err != nil {
+			return fail(err)
+		}
+		dst, err := pcb.bufAddr(4)
+		if err != nil {
+			return fail(err)
+		}
+		return accel.ResmpArgs{
+			NIn: nin, NOut: nout, Kind: kind, Src: src, Dst: dst,
+			LoopStrideSrc: pcb.strides(3), LoopStrideDst: pcb.strides(4),
+		}.Params(), nil
+	case descriptor.OpFFT:
+		n, err := pcb.intOf(0)
+		if err != nil {
+			return fail(err)
+		}
+		inv, err := pcb.intOf(1)
+		if err != nil {
+			return fail(err)
+		}
+		howMany, err := pcb.intOf(2)
+		if err != nil {
+			return fail(err)
+		}
+		src, err := pcb.bufAddr(3)
+		if err != nil {
+			return fail(err)
+		}
+		dst, err := pcb.bufAddr(4)
+		if err != nil {
+			return fail(err)
+		}
+		return accel.FFTArgs{
+			N: n, Inverse: inv != 0, HowMany: howMany, Src: src, Dst: dst,
+			LoopStrideSrc: pcb.strides(3), LoopStrideDst: pcb.strides(4),
+		}.Params(), nil
+	case descriptor.OpRESHP:
+		rows, err := pcb.intOf(0)
+		if err != nil {
+			return fail(err)
+		}
+		cols, err := pcb.intOf(1)
+		if err != nil {
+			return fail(err)
+		}
+		elem, err := pcb.intOf(2)
+		if err != nil {
+			return fail(err)
+		}
+		src, err := pcb.bufAddr(3)
+		if err != nil {
+			return fail(err)
+		}
+		dst, err := pcb.bufAddr(4)
+		if err != nil {
+			return fail(err)
+		}
+		return accel.ReshpArgs{Rows: rows, Cols: cols, Elem: accel.ElemKind(elem), Src: src, Dst: dst}.Params(), nil
+	default:
+		return nil, fmt.Errorf("no binder for opcode %v", sym.Op)
+	}
+}
+
+// Describe renders a human-readable summary of a compilation result (used
+// by the mealibcc CLI).
+func (r *Result) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library call sites recognised : %d\n", r.Stats.CallSites)
+	fmt.Fprintf(&b, "dynamic calls covered         : %d\n", r.Stats.CoveredCalls)
+	fmt.Fprintf(&b, "accelerator descriptors       : %d\n", r.Stats.Descriptors)
+	fmt.Fprintf(&b, "chained passes                : %d\n", r.Stats.ChainedPasses)
+	fmt.Fprintf(&b, "loops compacted               : %d\n", r.Stats.CompactedLoops)
+	fmt.Fprintf(&b, "malloc/free rewrites          : %d/%d\n", r.Stats.MallocRewrites, r.Stats.FreeRewrites)
+	for _, p := range r.Plans {
+		fmt.Fprintf(&b, "\n%s covers %d call(s):\n  %s\n", p.Name, p.CoveredCalls, p.TDL)
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package ccompiler
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// EvalInt evaluates an integer C expression (literals, symbols, + - * / %
+// and parentheses) against a symbol table. The compiler uses it for loop
+// bounds and size expressions; the binder reuses it for parameter fields.
+func EvalInt(expr string, syms map[string]int64) (int64, error) {
+	toks, err := Lex(expr)
+	if err != nil {
+		return 0, err
+	}
+	// Strip the EOF token.
+	toks = toks[:len(toks)-1]
+	e := &evaluator{toks: toks, syms: syms}
+	v, err := e.addSub()
+	if err != nil {
+		return 0, err
+	}
+	if e.pos != len(e.toks) {
+		return 0, fmt.Errorf("ccompiler: trailing tokens in expression %q", expr)
+	}
+	return v, nil
+}
+
+type evaluator struct {
+	toks []Token
+	pos  int
+	syms map[string]int64
+}
+
+func (e *evaluator) peek() (Token, bool) {
+	if e.pos >= len(e.toks) {
+		return Token{}, false
+	}
+	return e.toks[e.pos], true
+}
+
+func (e *evaluator) addSub() (int64, error) {
+	v, err := e.mulDiv()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t, ok := e.peek()
+		if !ok || t.Kind != TokPunct || (t.Text != "+" && t.Text != "-") {
+			return v, nil
+		}
+		e.pos++
+		rhs, err := e.mulDiv()
+		if err != nil {
+			return 0, err
+		}
+		if t.Text == "+" {
+			v += rhs
+		} else {
+			v -= rhs
+		}
+	}
+}
+
+func (e *evaluator) mulDiv() (int64, error) {
+	v, err := e.unary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t, ok := e.peek()
+		if !ok || t.Kind != TokPunct || (t.Text != "*" && t.Text != "/" && t.Text != "%" && t.Text != "<<" && t.Text != ">>") {
+			return v, nil
+		}
+		e.pos++
+		rhs, err := e.unary()
+		if err != nil {
+			return 0, err
+		}
+		switch t.Text {
+		case "*":
+			v *= rhs
+		case "/":
+			if rhs == 0 {
+				return 0, fmt.Errorf("ccompiler: division by zero in expression")
+			}
+			v /= rhs
+		case "%":
+			if rhs == 0 {
+				return 0, fmt.Errorf("ccompiler: modulo by zero in expression")
+			}
+			v %= rhs
+		case "<<":
+			v <<= uint(rhs)
+		case ">>":
+			v >>= uint(rhs)
+		}
+	}
+}
+
+func (e *evaluator) unary() (int64, error) {
+	t, ok := e.peek()
+	if !ok {
+		return 0, fmt.Errorf("ccompiler: unexpected end of expression")
+	}
+	switch {
+	case t.Kind == TokPunct && t.Text == "-":
+		e.pos++
+		v, err := e.unary()
+		return -v, err
+	case t.Kind == TokPunct && t.Text == "+":
+		e.pos++
+		return e.unary()
+	case t.Kind == TokPunct && t.Text == "(":
+		e.pos++
+		v, err := e.addSub()
+		if err != nil {
+			return 0, err
+		}
+		c, ok := e.peek()
+		if !ok || c.Kind != TokPunct || c.Text != ")" {
+			return 0, fmt.Errorf("ccompiler: missing ')' in expression")
+		}
+		e.pos++
+		return v, nil
+	case t.Kind == TokNumber:
+		e.pos++
+		v, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimSuffix(t.Text, "L"), "U"), 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("ccompiler: bad integer literal %q", t.Text)
+		}
+		return v, nil
+	case t.Kind == TokIdent:
+		e.pos++
+		if v, ok := e.syms[t.Text]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("ccompiler: unknown symbol %q in expression", t.Text)
+	default:
+		return 0, fmt.Errorf("ccompiler: unexpected token %s in expression", t)
+	}
+}
+
+// EvalF32 evaluates a float expression: a literal, a symbol, or an integer
+// expression.
+func EvalF32(expr string, ints map[string]int64, floats map[string]float32) (float32, error) {
+	trimmed := strings.TrimSpace(expr)
+	if v, ok := floats[trimmed]; ok {
+		return v, nil
+	}
+	if f, err := strconv.ParseFloat(strings.TrimSuffix(trimmed, "f"), 32); err == nil {
+		return float32(f), nil
+	}
+	if v, err := EvalInt(trimmed, ints); err == nil {
+		return float32(v), nil
+	}
+	return 0, fmt.Errorf("ccompiler: cannot evaluate float expression %q", expr)
+}
+
+// isSimpleIdent reports whether expr is a bare identifier.
+func isSimpleIdent(expr string) bool {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return false
+	}
+	for i, r := range expr {
+		if i == 0 && !(r == '_' || unicode.IsLetter(r)) {
+			return false
+		}
+		if i > 0 && !(r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+// Package ccompiler implements the source-to-source compiler of paper §3.4:
+// it parses a C subset sufficient for library-based legacy code (the STAP
+// listing style: declarations, malloc/free, MKL/FFTW calls, OpenMP
+// parallel-for nests), identifies the accelerable library calls, and
+// rewrites the program so it runs on MEALib —
+//
+//	pass 1  library calls -> accelerator control runtime routines plus a
+//	        generated TDL program and parameter table, with adjacent
+//	        producer/consumer calls chained into one PASS and OpenMP loop
+//	        nests compacted into a single LOOP-block descriptor;
+//	pass 2  malloc/free of accelerator-visible buffers -> the MEALib
+//	        memory management runtime routines.
+package ccompiler
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies C tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct
+	TokPragma // a whole "#pragma ..." line
+)
+
+// Token is one lexed C token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// multi-character punctuators, longest first.
+var punctuators = []string{
+	"<<=", ">>=", "...",
+	"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+}
+
+// Lex tokenises C source. Comments are dropped; #pragma lines become
+// TokPragma tokens; other preprocessor lines (#include, #define) are
+// dropped with their text retained in the token stream as pragmas so the
+// emitter can reproduce them.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			j := i + 2
+			for j+1 < n && !(src[j] == '*' && src[j+1] == '/') {
+				if src[j] == '\n' {
+					line++
+				}
+				j++
+			}
+			if j+1 >= n {
+				return nil, fmt.Errorf("ccompiler: line %d: unterminated comment", line)
+			}
+			i = j + 2
+		case c == '#':
+			j := i
+			for j < n && src[j] != '\n' {
+				// Line continuations.
+				if src[j] == '\\' && j+1 < n && src[j+1] == '\n' {
+					line++
+					j += 2
+					continue
+				}
+				j++
+			}
+			toks = append(toks, Token{Kind: TokPragma, Text: strings.TrimSpace(src[i:j]), Line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("ccompiler: line %d: unterminated string", line)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: src[i : j+1], Line: line})
+			i = j + 1
+		case c == '\'':
+			j := i + 1
+			for j < n && src[j] != '\'' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("ccompiler: line %d: unterminated character literal", line)
+			}
+			toks = append(toks, Token{Kind: TokChar, Text: src[i : j+1], Line: line})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			for j < n && (isIdentChar(src[j]) || src[j] == '.' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[i:j], Line: line})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[i:j], Line: line})
+			i = j
+		default:
+			matched := false
+			for _, p := range punctuators {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Line: line})
+				i++
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

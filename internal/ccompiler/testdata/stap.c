@@ -1,0 +1,63 @@
+/* Legacy STAP kernel in the style of the paper's Listing 1: MKL + FFTW +
+ * OpenMP. The MEALib source-to-source compiler rewrites this file; nothing
+ * here knows about accelerators. Problem-size macros (N_DOP etc.) are
+ * supplied as -D symbols. */
+#include <stdlib.h>
+#include <complex.h>
+#include <mkl.h>
+#include <fftw3.h>
+
+void stap_pipeline(void) {
+  float complex *datacube;
+  float complex *datacube_pulse_major_padded;
+  float complex *datacube_doppler_major;
+  int dop;
+  int block;
+  int sv;
+  int cell;
+
+  /* data allocation */
+  datacube = malloc(8 * N_CHAN * N_PULSES * N_RANGE);
+  datacube_pulse_major_padded = malloc(8 * N_RANGE * N_PULSES * N_CHAN);
+  datacube_doppler_major = malloc(8 * N_RANGE * N_PULSES * N_CHAN);
+
+  /* data copy with the FFTW guru interface (rank 0 -> pure reshape) */
+  fftwf_iodim howmany_dims_ct[3] = { {N_RANGE, 1, 1}, {N_PULSES, 1, 1}, {N_CHAN, 1, 1} };
+  fftwf_iodim dims[1] = { {N_DOP, 1, 1} };
+  fftwf_iodim howmany_dims[2] = { {N_RANGE, 1, 1}, {N_CHAN, 1, 1} };
+
+  fftwf_plan plan_ct = fftwf_plan_guru_dft(0, NULL, 3, howmany_dims_ct,
+      datacube, datacube_pulse_major_padded, FFTW_FORWARD, FFTW_WISDOM_ONLY);
+  fftwf_plan plan_fft = fftwf_plan_guru_dft(1, dims, 2, howmany_dims,
+      datacube_pulse_major_padded, datacube_doppler_major, FFTW_FORWARD, FFTW_WISDOM_ONLY);
+
+  /* batched FFT operation, chained behind the data copy */
+  fftwf_execute(plan_ct);
+  fftwf_execute(plan_fft);
+
+  /* multiple parallel inner products */
+  float complex adaptive_weights[N_DOP][N_BLOCKS][N_STEERING][TDOF_NCHAN];
+  float complex snapshots[N_DOP][N_BLOCKS][CELL_DIM];
+  float complex prods[N_DOP][N_BLOCKS][N_STEERING][TBS];
+
+#pragma omp parallel for num_threads(4) private(dop, block, sv, cell)
+  for (dop = 0; dop < N_DOP; ++dop)
+    for (block = 0; block < N_BLOCKS; ++block)
+      for (sv = 0; sv < N_STEERING; ++sv)
+        for (cell = 0; cell < TBS; ++cell)
+          cblas_cdotc_sub(TDOF_NCHAN,
+              &adaptive_weights[dop][block][sv][0], 1,
+              &snapshots[dop][block][cell], TBS,
+              &prods[dop][block][sv][cell]);
+
+  /* weight accumulation */
+  float gamma_weight[N_DOP][N_BLOCKS][TDOF_NCHAN];
+  float acc_weight[TDOF_NCHAN];
+  for (dop = 0; dop < N_DOP; ++dop)
+    for (block = 0; block < N_BLOCKS; ++block)
+      cblas_saxpy(TDOF_NCHAN, 1.0f, &gamma_weight[dop][block][0], 1, acc_weight, 1);
+
+  free(datacube);
+  free(datacube_pulse_major_padded);
+  free(datacube_doppler_major);
+}

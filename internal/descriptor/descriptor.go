@@ -1,0 +1,471 @@
+// Package descriptor defines the accelerator descriptor — the
+// hardware/software interface of MEALib (paper §2.3). A descriptor is a
+// physically contiguous region in the DRAM command space holding three
+// sub-regions:
+//
+//   - the Control Region (CR): the control command (START) and the number
+//     of instructions;
+//   - the Instruction Region (IR): accelerator instructions (one per
+//     accelerator invocation: opcode, parameter size, parameter address)
+//     and control instructions (LOOP / end-of-pass markers);
+//   - the Parameter Region (PR): the per-invocation parameters derived from
+//     the library API arguments.
+//
+// The host runtime builds a Descriptor, encodes it into the command space,
+// and writes CmdStart into the CR; the configuration unit of the
+// accelerator layer (internal/accel) fetches, decodes and executes it.
+package descriptor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// OpCode identifies an accelerator (paper Table 1).
+type OpCode uint8
+
+// Accelerator opcodes.
+const (
+	OpInvalid OpCode = iota
+	OpAXPY           // vector scaling and add     (cblas_saxpy)
+	OpDOT            // dot product                (cblas_sdot / cblas_cdotc_sub)
+	OpGEMV           // general matrix-vector mul  (cblas_sgemv)
+	OpSPMV           // sparse matrix-vector mul   (mkl_scsrgemv)
+	OpRESMP          // data resampling            (dfsInterpolate1D)
+	OpFFT            // fast Fourier transform     (fftwf_execute)
+	OpRESHP          // matrix transpose/reshape   (mkl_simatcopy / FFTW guru copy)
+	opMax
+)
+
+var opNames = [...]string{"INVALID", "AXPY", "DOT", "GEMV", "SPMV", "RESMP", "FFT", "RESHP"}
+
+// String returns the accelerator mnemonic.
+func (o OpCode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OpCode(%d)", uint8(o))
+}
+
+// Valid reports whether o names a real accelerator.
+func (o OpCode) Valid() bool { return o > OpInvalid && o < opMax }
+
+// InstrKind distinguishes accelerator from control instructions.
+type InstrKind uint8
+
+// Instruction kinds.
+const (
+	KindComp    InstrKind = iota // invoke one accelerator
+	KindEndPass                  // end of a PASS datapath
+	KindLoop                     // repeat enclosed passes Count times
+	KindEndLoop                  // end of a LOOP body
+)
+
+// MaxLoopLevels is the depth of the hardware loop nest one LOOP
+// instruction can express. The source-to-source compiler flattens OpenMP
+// loop nests (up to this depth) into a single LOOP block; each accelerator
+// parameter block carries a stride per level (paper §3.4: the compiler
+// derives iteration counts and input/output strides from the loop bounds).
+const MaxLoopLevels = 4
+
+// LoopCounts holds the per-level iteration counts of a LOOP instruction,
+// outermost first. Unused levels are 1 (or 0, normalised to 1).
+type LoopCounts [MaxLoopLevels]uint32
+
+// Total returns the flattened iteration count.
+func (c LoopCounts) Total() int64 {
+	total := int64(1)
+	for _, v := range c {
+		if v > 1 {
+			total *= int64(v)
+		}
+	}
+	return total
+}
+
+// normalised replaces zero levels with 1.
+func (c LoopCounts) normalised() LoopCounts {
+	for i, v := range c {
+		if v == 0 {
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// Instruction is one IR entry.
+type Instruction struct {
+	Kind InstrKind
+	Op   OpCode // KindComp only
+	// Counts are the per-level iteration counts for KindLoop.
+	Counts LoopCounts
+	// ParamAddr/ParamSize locate this invocation's parameters in the PR
+	// (KindComp only; filled in by Encode).
+	ParamAddr phys.Addr
+	ParamSize uint32
+}
+
+// Params is the parameter block of one accelerator invocation: an ordered
+// list of 64-bit fields whose meaning the target accelerator defines.
+// Floats are bit-cast with F32Field/F32Of.
+type Params []uint64
+
+// F32Field packs a float32 into a parameter field.
+func F32Field(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// F32Of unpacks a float32 parameter field.
+func F32Of(f uint64) float32 { return math.Float32frombits(uint32(f)) }
+
+// AddrField packs a physical address into a parameter field.
+func AddrField(a phys.Addr) uint64 { return uint64(a) }
+
+// AddrOf unpacks a physical address parameter field.
+func AddrOf(f uint64) phys.Addr { return phys.Addr(f) }
+
+// Control commands stored in the CR.
+const (
+	CmdIdle  uint32 = 0
+	CmdStart uint32 = 1
+	CmdDone  uint32 = 2
+)
+
+// Binary layout constants.
+const (
+	magic            = 0x4d45414c // "MEAL"
+	crSize           = 32
+	instrSize        = 32
+	headerOffCommand = 4
+	headerOffNInstr  = 8
+	headerOffPRBase  = 16
+	headerOffTotal   = 24
+)
+
+// Descriptor is the builder-side representation.
+type Descriptor struct {
+	Instrs []Instruction
+	// params[i] belongs to the i-th KindComp instruction, in order.
+	params []Params
+}
+
+// AddComp appends an accelerator invocation with its parameters.
+func (d *Descriptor) AddComp(op OpCode, p Params) error {
+	if !op.Valid() {
+		return fmt.Errorf("descriptor: invalid opcode %v", op)
+	}
+	d.Instrs = append(d.Instrs, Instruction{Kind: KindComp, Op: op})
+	d.params = append(d.params, p)
+	return nil
+}
+
+// AddEndPass appends an end-of-pass marker.
+func (d *Descriptor) AddEndPass() {
+	d.Instrs = append(d.Instrs, Instruction{Kind: KindEndPass})
+}
+
+// AddLoop appends a LOOP header repeating the enclosed passes over a
+// hardware loop nest, outermost count first. AddLoop(n) is a single-level
+// loop of n iterations.
+func (d *Descriptor) AddLoop(counts ...uint32) error {
+	if len(counts) == 0 || len(counts) > MaxLoopLevels {
+		return fmt.Errorf("descriptor: loop needs 1..%d levels, got %d", MaxLoopLevels, len(counts))
+	}
+	var lc LoopCounts
+	for i := range lc {
+		lc[i] = 1
+	}
+	// Right-align so level MaxLoopLevels-1 is always the innermost.
+	off := MaxLoopLevels - len(counts)
+	for i, c := range counts {
+		if c == 0 {
+			return fmt.Errorf("descriptor: zero-iteration loop level %d", i)
+		}
+		lc[off+i] = c
+	}
+	d.Instrs = append(d.Instrs, Instruction{Kind: KindLoop, Counts: lc})
+	return nil
+}
+
+// AddEndLoop appends a LOOP terminator.
+func (d *Descriptor) AddEndLoop() {
+	d.Instrs = append(d.Instrs, Instruction{Kind: KindEndLoop})
+}
+
+// Comps returns the number of accelerator instructions.
+func (d *Descriptor) Comps() int { return len(d.params) }
+
+// Validate checks structural well-formedness: loops balanced and non-nested,
+// every COMP inside a pass that is eventually terminated.
+func (d *Descriptor) Validate() error {
+	if len(d.Instrs) == 0 {
+		return fmt.Errorf("descriptor: empty instruction region")
+	}
+	inLoop := false
+	open := false // an unterminated pass is in progress
+	comps := 0
+	for i, in := range d.Instrs {
+		switch in.Kind {
+		case KindComp:
+			if !in.Op.Valid() {
+				return fmt.Errorf("descriptor: instruction %d: invalid opcode", i)
+			}
+			open = true
+			comps++
+		case KindEndPass:
+			if !open {
+				return fmt.Errorf("descriptor: instruction %d: ENDPASS without COMP", i)
+			}
+			open = false
+		case KindLoop:
+			if inLoop {
+				return fmt.Errorf("descriptor: instruction %d: nested LOOP", i)
+			}
+			if open {
+				return fmt.Errorf("descriptor: instruction %d: LOOP inside an open pass", i)
+			}
+			if in.Counts.Total() < 1 {
+				return fmt.Errorf("descriptor: instruction %d: zero-iteration LOOP", i)
+			}
+			inLoop = true
+		case KindEndLoop:
+			if !inLoop {
+				return fmt.Errorf("descriptor: instruction %d: ENDLOOP without LOOP", i)
+			}
+			if open {
+				return fmt.Errorf("descriptor: instruction %d: ENDLOOP inside an open pass", i)
+			}
+			inLoop = false
+		default:
+			return fmt.Errorf("descriptor: instruction %d: unknown kind %d", i, in.Kind)
+		}
+	}
+	if open {
+		return fmt.Errorf("descriptor: trailing pass not terminated by ENDPASS")
+	}
+	if inLoop {
+		return fmt.Errorf("descriptor: unterminated LOOP")
+	}
+	if comps != len(d.params) {
+		return fmt.Errorf("descriptor: %d COMP instructions but %d parameter blocks", comps, len(d.params))
+	}
+	return nil
+}
+
+// Size returns the total encoded size (CR + IR + PR).
+func (d *Descriptor) Size() units.Bytes {
+	n := units.Bytes(crSize + instrSize*len(d.Instrs))
+	for _, p := range d.params {
+		n += units.Bytes(4 + 8*len(p))
+	}
+	return n
+}
+
+// Encode serialises the descriptor into the space at base. The CR command is
+// written as CmdIdle; the runtime flips it to CmdStart to launch.
+func (d *Descriptor) Encode(s *phys.Space, base phys.Addr) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	prBase := base + phys.Addr(crSize+instrSize*len(d.Instrs))
+	// Control region.
+	if err := s.WriteUint32(base, magic); err != nil {
+		return err
+	}
+	if err := s.WriteUint32(base+headerOffCommand, CmdIdle); err != nil {
+		return err
+	}
+	if err := s.WriteUint32(base+headerOffNInstr, uint32(len(d.Instrs))); err != nil {
+		return err
+	}
+	if err := s.WriteUint64(base+headerOffPRBase, uint64(prBase)); err != nil {
+		return err
+	}
+	if err := s.WriteUint64(base+headerOffTotal, uint64(d.Size())); err != nil {
+		return err
+	}
+	// Parameter region first, so instruction entries can reference it.
+	paramAddrs := make([]phys.Addr, len(d.params))
+	paramSizes := make([]uint32, len(d.params))
+	pa := prBase
+	for i, p := range d.params {
+		paramAddrs[i] = pa
+		paramSizes[i] = uint32(4 + 8*len(p))
+		if err := s.WriteUint32(pa, uint32(len(p))); err != nil {
+			return err
+		}
+		for j, f := range p {
+			if err := s.WriteUint64(pa+4+phys.Addr(8*j), f); err != nil {
+				return err
+			}
+		}
+		pa += phys.Addr(paramSizes[i])
+	}
+	// Instruction region.
+	pi := 0
+	for i, in := range d.Instrs {
+		at := base + phys.Addr(crSize+instrSize*i)
+		word0 := uint32(in.Kind) | uint32(in.Op)<<8
+		if err := s.WriteUint32(at, word0); err != nil {
+			return err
+		}
+		var count uint32
+		var paddr phys.Addr
+		var extra LoopCounts
+		if in.Kind == KindComp {
+			count = paramSizes[pi]
+			paddr = paramAddrs[pi]
+			pi++
+		} else if in.Kind == KindLoop {
+			lc := in.Counts.normalised()
+			count = lc[0]
+			extra = lc
+		}
+		if err := s.WriteUint32(at+4, count); err != nil {
+			return err
+		}
+		if err := s.WriteUint64(at+8, uint64(paddr)); err != nil {
+			return err
+		}
+		// Levels 1..3 of a LOOP live in the reserved tail of the entry.
+		for l := 1; l < MaxLoopLevels; l++ {
+			v := extra[l]
+			if in.Kind != KindLoop {
+				v = 0
+			}
+			if err := s.WriteUint32(at+16+phys.Addr(4*(l-1)), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCommand sets the CR command field of an encoded descriptor.
+func WriteCommand(s *phys.Space, base phys.Addr, cmd uint32) error {
+	m, err := s.ReadUint32(base)
+	if err != nil {
+		return err
+	}
+	if m != magic {
+		return fmt.Errorf("descriptor: no descriptor at %v (bad magic %#x)", base, m)
+	}
+	return s.WriteUint32(base+headerOffCommand, cmd)
+}
+
+// ReadCommand reads the CR command field of an encoded descriptor.
+func ReadCommand(s *phys.Space, base phys.Addr) (uint32, error) {
+	m, err := s.ReadUint32(base)
+	if err != nil {
+		return 0, err
+	}
+	if m != magic {
+		return 0, fmt.Errorf("descriptor: no descriptor at %v (bad magic %#x)", base, m)
+	}
+	return s.ReadUint32(base + headerOffCommand)
+}
+
+// Decode reconstructs a descriptor from the space — the fetch-unit side of
+// the interface. Parameter blocks are loaded from the PR.
+func Decode(s *phys.Space, base phys.Addr) (*Descriptor, error) {
+	m, err := s.ReadUint32(base)
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("descriptor: no descriptor at %v (bad magic %#x)", base, m)
+	}
+	nInstr, err := s.ReadUint32(base + headerOffNInstr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Descriptor{}
+	for i := 0; i < int(nInstr); i++ {
+		at := base + phys.Addr(crSize+instrSize*i)
+		word0, err := s.ReadUint32(at)
+		if err != nil {
+			return nil, err
+		}
+		count, err := s.ReadUint32(at + 4)
+		if err != nil {
+			return nil, err
+		}
+		paddr64, err := s.ReadUint64(at + 8)
+		if err != nil {
+			return nil, err
+		}
+		in := Instruction{Kind: InstrKind(word0 & 0xff), Op: OpCode(word0 >> 8 & 0xff)}
+		switch in.Kind {
+		case KindComp:
+			in.ParamAddr = phys.Addr(paddr64)
+			in.ParamSize = count
+			nFields, err := s.ReadUint32(in.ParamAddr)
+			if err != nil {
+				return nil, err
+			}
+			if 4+8*nFields != count {
+				return nil, fmt.Errorf("descriptor: instruction %d: parameter size %d inconsistent with field count %d", i, count, nFields)
+			}
+			p := make(Params, nFields)
+			for j := range p {
+				f, err := s.ReadUint64(in.ParamAddr + 4 + phys.Addr(8*j))
+				if err != nil {
+					return nil, err
+				}
+				p[j] = f
+			}
+			d.params = append(d.params, p)
+		case KindLoop:
+			in.Counts[0] = count
+			for l := 1; l < MaxLoopLevels; l++ {
+				v, err := s.ReadUint32(at + 16 + phys.Addr(4*(l-1)))
+				if err != nil {
+					return nil, err
+				}
+				in.Counts[l] = v
+			}
+			in.Counts = in.Counts.normalised()
+		}
+		d.Instrs = append(d.Instrs, in)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("descriptor: decoded descriptor invalid: %w", err)
+	}
+	return d, nil
+}
+
+// ParamsOf returns the parameter block of the i-th COMP instruction.
+func (d *Descriptor) ParamsOf(comp int) (Params, error) {
+	if comp < 0 || comp >= len(d.params) {
+		return nil, fmt.Errorf("descriptor: no parameter block %d (have %d)", comp, len(d.params))
+	}
+	return d.params[comp], nil
+}
+
+// Disassemble renders the instruction region as a human-readable listing
+// (what cmd/tdlc -dump prints).
+func (d *Descriptor) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "descriptor: %d instructions, %d accelerator invocations, %v encoded\n",
+		len(d.Instrs), d.Comps(), d.Size())
+	indent := ""
+	for i, in := range d.Instrs {
+		switch in.Kind {
+		case KindComp:
+			fmt.Fprintf(&b, "%3d  %sCOMP    %v\n", i, indent, in.Op)
+		case KindEndPass:
+			fmt.Fprintf(&b, "%3d  %sENDPASS\n", i, indent)
+		case KindLoop:
+			fmt.Fprintf(&b, "%3d  %sLOOP    counts=%v total=%d\n", i, indent, in.Counts, in.Counts.Total())
+			indent = "  "
+		case KindEndLoop:
+			indent = ""
+			fmt.Fprintf(&b, "%3d  %sENDLOOP\n", i, indent)
+		default:
+			fmt.Fprintf(&b, "%3d  %s<unknown kind %d>\n", i, indent, in.Kind)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"time"
+
+	"mealib/internal/kernels"
+)
+
+// Fig1Row is one benchmark's library-over-original speedup.
+type Fig1Row struct {
+	Suite     string
+	Benchmark string
+	Kernel    string
+	Naive     time.Duration
+	Library   time.Duration
+	Speedup   float64
+}
+
+// Figure1 reproduces the spirit of the paper's Figure 1 with *measured*
+// numbers: the "original code" is the textbook implementation (an O(n^2)
+// DFT where the library uses an O(n log n) FFT, an unblocked transpose,
+// naive loops) and the "high-performance library" is this repository's
+// optimized kernel — the same substitution DESIGN.md documents for MKL.
+// The largest paper gains (42x) come from exactly this effect: original
+// code uses a worse algorithm or data layout than the library. Magnitudes
+// depend on the host (the FFT-vs-DFT gap alone exceeds 100x), while the
+// claim — library implementations dominate original code — is measured
+// directly on whatever machine runs this.
+//
+// Benchmarks follow the paper's three suites: R (statistics), PNNL PERFECT
+// (radar kernels), PARSEC (general purpose).
+func Figure1(scale int) ([]Fig1Row, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(99))
+	n := 1024 * scale // transform length for the DFT/FFT comparison
+	tEdge := 2048     // transpose edge
+	img := 96         // 2-D image edge for the SAR comparison
+	vec := 1 << 20 * scale
+
+	a := make([]float32, tEdge*tEdge)
+	bigX := make([]float32, vec)
+	bigY := make([]float32, vec)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range bigX {
+		bigX[i] = float32(rng.NormFloat64())
+		bigY[i] = float32(rng.NormFloat64())
+	}
+	cx := make([]complex64, vec)
+	for i := range cx {
+		cx[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	tr := make([]float32, tEdge*tEdge)
+	sig := make([]complex64, n)
+	for i := range sig {
+		sig[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	imgData := make([]complex64, img*img)
+	for i := range imgData {
+		imgData[i] = complex(float32(rng.NormFloat64()), 0)
+	}
+
+	measure := func(fn func() error) (time.Duration, error) {
+		// Best of two rounds (reduces scheduler noise).
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < 2; r++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	type bench struct {
+		suite, name, kernel string
+		naive, lib          func() error
+	}
+	benches := []bench{
+		{"R", "spec.pgram (spectral density)", "FFT",
+			func() error { naiveDFT(sig); return nil },
+			func() error {
+				c := append([]complex64(nil), sig...)
+				return kernels.FFT(c, kernels.Forward)
+			}},
+		{"R", "cor (correlation)", "SDOT",
+			func() error { _, err := kernels.SdotNaive(vec, bigX, 1, bigY, 1); return err },
+			func() error { _, err := kernels.Sdot(vec, bigX, 1, bigY, 1); return err }},
+		{"PERFECT", "sar (image formation)", "FFT2D",
+			func() error { naiveDFT2D(imgData, img); return nil },
+			func() error {
+				c := append([]complex64(nil), imgData...)
+				return kernels.FFT2D(c, img, img, kernels.Forward)
+			}},
+		{"PERFECT", "stap (inner products)", "CDOTC",
+			func() error { _, err := kernels.CdotcNaive(vec, cx, 1, cx, 1); return err },
+			func() error { _, err := kernels.Cdotc(vec, cx, 1, cx, 1); return err }},
+		{"PARSEC", "streamcluster (distances)", "SAXPY",
+			func() error { return kernels.SaxpyNaive(vec, 1.1, bigX, 1, bigY, 1) },
+			func() error { return kernels.Saxpy(vec, 1.1, bigX, 1, bigY, 1) }},
+		{"PARSEC", "fluidanimate (reorder)", "RESHP",
+			func() error { return kernels.TransposeNaive(tEdge, tEdge, a, tr) },
+			func() error { return kernels.Transpose(tEdge, tEdge, a, tr) }},
+	}
+	var rows []Fig1Row
+	for _, b := range benches {
+		tn, err := measure(b.naive)
+		if err != nil {
+			return nil, fmt.Errorf("exp: figure 1 %s naive: %w", b.name, err)
+		}
+		tl, err := measure(b.lib)
+		if err != nil {
+			return nil, fmt.Errorf("exp: figure 1 %s library: %w", b.name, err)
+		}
+		sp := 0.0
+		if tl > 0 {
+			sp = float64(tn) / float64(tl)
+		}
+		rows = append(rows, Fig1Row{
+			Suite: b.suite, Benchmark: b.name, Kernel: b.kernel,
+			Naive: tn, Library: tl, Speedup: sp,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure1 produces the printable comparison.
+func RenderFigure1(scale int) (*Table, error) {
+	rows, err := Figure1(scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 1: measured library-over-original speedups",
+		Columns: []string{"Suite", "Benchmark", "Kernel", "Original", "Library", "Speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Suite, r.Benchmark, r.Kernel,
+			r.Naive.String(), r.Library.String(), f(r.Speedup),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper (MKL/AVX on Haswell): R up to 27x, PERFECT up to 30x, PARSEC up to 42x",
+		"reproduced with this repository's optimized kernels vs naive loops (see DESIGN.md)")
+	return t, nil
+}
+
+// naiveDFT is the textbook O(n^2) transform "original code" uses.
+func naiveDFT(x []complex64) []complex64 {
+	n := len(x)
+	out := make([]complex64, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += complex128(x[j]) * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = complex64(sum)
+	}
+	return out
+}
+
+// naiveDFT2D applies naiveDFT to rows then columns of an n x n image.
+func naiveDFT2D(x []complex64, n int) []complex64 {
+	out := append([]complex64(nil), x...)
+	for r := 0; r < n; r++ {
+		copy(out[r*n:(r+1)*n], naiveDFT(out[r*n:(r+1)*n]))
+	}
+	col := make([]complex64, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = out[r*n+c]
+		}
+		col = naiveDFT(col)
+		for r := 0; r < n; r++ {
+			out[r*n+c] = col[r]
+		}
+	}
+	return out
+}

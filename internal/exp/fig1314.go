@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"mealib/internal/apps/stap"
+)
+
+// Fig13Row is one STAP data set's gains.
+type Fig13Row struct {
+	DataSet   string
+	PerfGain  float64
+	EDPGain   float64
+	PaperPerf float64
+	PaperEDP  float64
+}
+
+// Figure13 reproduces the STAP gains across data sets.
+func Figure13() ([]Fig13Row, error) {
+	cases := []struct {
+		p         stap.Params
+		perf, edp float64
+	}{
+		{stap.Small(), 2.0, 4.5},
+		{stap.Medium(), 2.3, 9.0},
+		{stap.Large(), 3.2, 10.2},
+	}
+	var rows []Fig13Row
+	for _, c := range cases {
+		g, err := stap.Compare(c.p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig13Row{
+			DataSet: c.p.Name, PerfGain: g.Performance, EDPGain: g.EDP,
+			PaperPerf: c.perf, PaperEDP: c.edp,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure13 produces the printable comparison.
+func RenderFigure13() (*Table, error) {
+	rows, err := Figure13()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 13: STAP gains over the optimized Haswell baseline",
+		Columns: []string{"Data set", "perf gain", "paper", "EDP gain", "paper"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.DataSet, f(r.PerfGain), f(r.PaperPerf), f(r.EDPGain), f(r.PaperEDP),
+		})
+	}
+	return t, nil
+}
+
+// Fig14 is the execution breakdown of the large STAP run.
+type Fig14 struct {
+	HostTimeShare     float64
+	HostEnergyShare   float64
+	AccelTimeShares   map[string]float64
+	AccelEnergyShares map[string]float64
+	Descriptors       int
+}
+
+// Figure14 reproduces the breakdown.
+func Figure14() (*Fig14, error) {
+	g, err := stap.Compare(stap.Large())
+	if err != nil {
+		return nil, err
+	}
+	ht, he := g.MEALib.HostShare()
+	ts, es := g.MEALib.AccelShares()
+	return &Fig14{
+		HostTimeShare: ht, HostEnergyShare: he,
+		AccelTimeShares: ts, AccelEnergyShares: es,
+		Descriptors: g.MEALib.Descriptors,
+	}, nil
+}
+
+// RenderFigure14 produces the printable comparison.
+func RenderFigure14() (*Table, error) {
+	b, err := Figure14()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 14: STAP execution breakdown on MEALib (large data set)",
+		Columns: []string{"Component", "time share", "energy share", "paper time", "paper energy"},
+	}
+	t.Rows = append(t.Rows, []string{"Host (cherk/ctrsm)",
+		pct(b.HostTimeShare), pct(b.HostEnergyShare), "~75%", "~90%"})
+	paper := map[string][2]string{
+		"RESHP":      {"-", "-"},
+		"FFT":        {"-", "-"},
+		"DOT":        {"~60%", "~76%"},
+		"AXPY":       {"3.1%", "3.8%"},
+		"Invocation": {"3.3%", "7.1%"},
+	}
+	var keys []string
+	for k := range b.AccelTimeShares {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ref := paper[k]
+		t.Rows = append(t.Rows, []string{
+			k + " (of accel)", pct(b.AccelTimeShares[k]), pct(b.AccelEnergyShares[k]), ref[0], ref[1],
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d accelerator descriptors cover the whole memory-bounded workload (paper: 3)", b.Descriptors))
+	return t, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

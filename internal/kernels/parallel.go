@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallel is the smallest element count worth fanning out goroutines.
+const minParallel = 1 << 14
+
+// parallelRanges splits [0, n) into roughly equal chunks and runs fn on each
+// concurrently. fn receives [lo, hi).
+func parallelRanges(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < minParallel || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelReduce splits [0, n) into chunks, computes a float64 partial per
+// chunk and returns the sum of partials.
+func parallelReduce(n int, fn func(lo, hi int) float64) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if n < minParallel || workers <= 1 {
+		return fn(0, n)
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	parts := make([]float64, 0, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p := fn(lo, hi)
+			mu.Lock()
+			parts = append(parts, p)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// parallelReduceComplex is parallelReduce for complex128 partials.
+func parallelReduceComplex(n int, fn func(lo, hi int) complex128) complex128 {
+	workers := runtime.GOMAXPROCS(0)
+	if n < minParallel || workers <= 1 {
+		return fn(0, n)
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	parts := make([]complex128, 0, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p := fn(lo, hi)
+			mu.Lock()
+			parts = append(parts, p)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	var sum complex128
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}

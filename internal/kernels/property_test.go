@@ -1,0 +1,254 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the DFT is linear — FFT(a*x + y) == a*FFT(x) + FFT(y).
+func TestPropertyFFTLinearity(t *testing.T) {
+	f := func(seed int64, rawN uint8, ar, ai float32) bool {
+		n := 1 << (uint(rawN)%8 + 1) // 2..256
+		rng := rand.New(rand.NewSource(seed))
+		a := complex(clamp1(ar), clamp1(ai))
+		x := randCVec(rng, n)
+		y := randCVec(rng, n)
+		// lhs = FFT(a*x + y)
+		lhs := make([]complex64, n)
+		for i := range lhs {
+			lhs[i] = a*x[i] + y[i]
+		}
+		if err := FFT(lhs, Forward); err != nil {
+			return false
+		}
+		// rhs = a*FFT(x) + FFT(y)
+		fx := append([]complex64(nil), x...)
+		fy := append([]complex64(nil), y...)
+		if err := FFT(fx, Forward); err != nil {
+			return false
+		}
+		if err := FFT(fy, Forward); err != nil {
+			return false
+		}
+		for i := range fx {
+			rhs := a*fx[i] + fy[i]
+			if cmplx.Abs(complex128(lhs[i]-rhs)) > 1e-2*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a circular time shift multiplies the spectrum by a phase ramp
+// of unit magnitude, so |FFT(shift(x))| == |FFT(x)| bin by bin.
+func TestPropertyFFTShiftMagnitude(t *testing.T) {
+	f := func(seed int64, rawN, rawS uint8) bool {
+		n := 1 << (uint(rawN)%7 + 2) // 4..256
+		shift := int(rawS) % n
+		rng := rand.New(rand.NewSource(seed))
+		x := randCVec(rng, n)
+		shifted := make([]complex64, n)
+		for i := range x {
+			shifted[i] = x[(i+shift)%n]
+		}
+		if err := FFT(x, Forward); err != nil {
+			return false
+		}
+		if err := FFT(shifted, Forward); err != nil {
+			return false
+		}
+		for i := range x {
+			a := cmplx.Abs(complex128(x[i]))
+			b := cmplx.Abs(complex128(shifted[i]))
+			if math.Abs(a-b) > 1e-2*(1+a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GEMV is linear in x.
+func TestPropertyGemvLinearity(t *testing.T) {
+	f := func(seed int64, rawM, rawN uint8) bool {
+		m := int(rawM)%20 + 1
+		n := int(rawN)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randVec(rng, m*n)
+		x1 := randVec(rng, n)
+		x2 := randVec(rng, n)
+		sum := make([]float32, n)
+		for i := range sum {
+			sum[i] = x1[i] + x2[i]
+		}
+		y1 := make([]float32, m)
+		y2 := make([]float32, m)
+		ySum := make([]float32, m)
+		if Sgemv(m, n, 1, a, n, x1, 0, y1) != nil ||
+			Sgemv(m, n, 1, a, n, x2, 0, y2) != nil ||
+			Sgemv(m, n, 1, a, n, sum, 0, ySum) != nil {
+			return false
+		}
+		for i := range ySum {
+			if !almostEqual(float64(ySum[i]), float64(y1[i]+y2[i]), 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz — |<x,y>|^2 <= <x,x> * <y,y>.
+func TestPropertyCdotcCauchySchwarz(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%100 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := randCVec(rng, n)
+		y := randCVec(rng, n)
+		xy, err1 := Cdotc(n, x, 1, y, 1)
+		xx, err2 := Cdotc(n, x, 1, x, 1)
+		yy, err3 := Cdotc(n, y, 1, y, 1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		lhs := cmplx.Abs(complex128(xy))
+		rhs := math.Sqrt(float64(real(xx))) * math.Sqrt(float64(real(yy)))
+		return lhs <= rhs*(1+1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SPMV distributes over vector addition.
+func TestPropertySpmvLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 20+rng.Intn(20), 20+rng.Intn(20)
+		rowPtr := make([]int32, m+1)
+		var colIdx []int32
+		var values []float32
+		for i := 0; i < m; i++ {
+			deg := rng.Intn(5)
+			for d := 0; d < deg; d++ {
+				colIdx = append(colIdx, int32(rng.Intn(n)))
+				values = append(values, float32(rng.NormFloat64()))
+			}
+			rowPtr[i+1] = int32(len(values))
+		}
+		x1 := randVec(rng, n)
+		x2 := randVec(rng, n)
+		sum := make([]float32, n)
+		for i := range sum {
+			sum[i] = x1[i] + x2[i]
+		}
+		y1 := make([]float32, m)
+		y2 := make([]float32, m)
+		ySum := make([]float32, m)
+		if SpmvCSR(m, rowPtr, colIdx, values, x1, y1) != nil ||
+			SpmvCSR(m, rowPtr, colIdx, values, x2, y2) != nil ||
+			SpmvCSR(m, rowPtr, colIdx, values, sum, ySum) != nil {
+			return false
+		}
+		for i := range ySum {
+			if !almostEqual(float64(ySum[i]), float64(y1[i]+y2[i]), 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: resampling a constant signal yields the constant everywhere,
+// for both interpolation rules.
+func TestPropertyResampleConstant(t *testing.T) {
+	f := func(rawIn, rawOut uint8, v float32, cubic bool) bool {
+		nIn := int(rawIn)%100 + 2
+		nOut := int(rawOut)%200 + 1
+		v = clamp1(v) * 100
+		src := make([]float32, nIn)
+		for i := range src {
+			src[i] = v
+		}
+		dst := make([]float32, nOut)
+		kind := InterpLinear
+		if cubic {
+			kind = InterpCubic
+		}
+		if Resample(src, dst, kind) != nil {
+			return false
+		}
+		for _, got := range dst {
+			if math.Abs(float64(got-v)) > 1e-3*(1+math.Abs(float64(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cherk with alpha=1, beta=1 accumulates — two rank-k updates
+// equal one rank-2k update on the concatenated matrix.
+func TestPropertyCherkAccumulates(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%10 + 2
+		k := 6
+		rng := rand.New(rand.NewSource(seed))
+		a1 := randCVec(rng, n*k)
+		a2 := randCVec(rng, n*k)
+		// Two sequential updates.
+		c1 := make([]complex64, n*n)
+		if Cherk(n, k, 1, a1, k, 0, c1, n) != nil {
+			return false
+		}
+		if Cherk(n, k, 1, a2, k, 1, c1, n) != nil {
+			return false
+		}
+		// One update with [a1 a2].
+		cat := make([]complex64, n*2*k)
+		for i := 0; i < n; i++ {
+			copy(cat[i*2*k:], a1[i*k:(i+1)*k])
+			copy(cat[i*2*k+k:], a2[i*k:(i+1)*k])
+		}
+		c2 := make([]complex64, n*n)
+		if Cherk(n, 2*k, 1, cat, 2*k, 0, c2, n) != nil {
+			return false
+		}
+		for i := range c1 {
+			if cmplx.Abs(complex128(c1[i]-c2[i])) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp1 maps arbitrary float32 input into a tame [-1, 1] range.
+func clamp1(v float32) float32 {
+	if v != v || math.IsInf(float64(v), 0) {
+		return 0.5
+	}
+	return float32(math.Mod(float64(v), 1))
+}

@@ -1,0 +1,64 @@
+package kernels
+
+import "fmt"
+
+// SpmvCSRNaive computes y = A*x for a CSR matrix with m rows: rowPtr has
+// m+1 entries, colIdx/values have nnz entries (mkl_scsrgemv semantics with
+// zero-based indexing).
+func SpmvCSRNaive(m int, rowPtr []int32, colIdx []int32, values []float32, x []float32, y []float32) error {
+	if err := checkCSR(m, rowPtr, colIdx, values, x, y); err != nil {
+		return err
+	}
+	for i := 0; i < m; i++ {
+		var sum float32
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			sum += values[k] * x[colIdx[k]]
+		}
+		y[i] = sum
+	}
+	return nil
+}
+
+// SpmvCSR is the optimized variant: row-parallel with float64 accumulation.
+func SpmvCSR(m int, rowPtr []int32, colIdx []int32, values []float32, x []float32, y []float32) error {
+	if err := checkCSR(m, rowPtr, colIdx, values, x, y); err != nil {
+		return err
+	}
+	parallelRanges(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				sum += float64(values[k]) * float64(x[colIdx[k]])
+			}
+			y[i] = float32(sum)
+		}
+	})
+	return nil
+}
+
+func checkCSR(m int, rowPtr, colIdx []int32, values, x, y []float32) error {
+	if m < 0 {
+		return fmt.Errorf("kernels: spmv: negative rows %d", m)
+	}
+	if len(rowPtr) < m+1 {
+		return fmt.Errorf("kernels: spmv: rowPtr length %d < m+1=%d", len(rowPtr), m+1)
+	}
+	nnz := int(rowPtr[m])
+	if len(colIdx) < nnz || len(values) < nnz {
+		return fmt.Errorf("kernels: spmv: colIdx/values length %d/%d < nnz=%d", len(colIdx), len(values), nnz)
+	}
+	if len(y) < m {
+		return fmt.Errorf("kernels: spmv: y length %d < m=%d", len(y), m)
+	}
+	for i := 0; i < m; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return fmt.Errorf("kernels: spmv: rowPtr not monotone at row %d", i)
+		}
+	}
+	for k := 0; k < nnz; k++ {
+		if c := int(colIdx[k]); c < 0 || c >= len(x) {
+			return fmt.Errorf("kernels: spmv: column index %d out of range [0,%d)", c, len(x))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// smallCSR is the 3x3 matrix [[1 0 2],[0 3 0],[4 0 5]].
+func smallCSR() (rowPtr, colIdx []int32, values []float32) {
+	return []int32{0, 2, 3, 5}, []int32{0, 2, 1, 0, 2}, []float32{1, 2, 3, 4, 5}
+}
+
+func TestSpmvKnown(t *testing.T) {
+	rp, ci, v := smallCSR()
+	x := []float32{1, 2, 3}
+	y := make([]float32, 3)
+	if err := SpmvCSR(3, rp, ci, v, x, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1*1 + 2*3, 3 * 2, 4*1 + 5*3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSpmvMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n := 200, 150
+	var rowPtr []int32
+	var colIdx []int32
+	var values []float32
+	rowPtr = append(rowPtr, 0)
+	for i := 0; i < m; i++ {
+		deg := rng.Intn(8)
+		for d := 0; d < deg; d++ {
+			colIdx = append(colIdx, int32(rng.Intn(n)))
+			values = append(values, float32(rng.NormFloat64()))
+		}
+		rowPtr = append(rowPtr, int32(len(values)))
+	}
+	x := randVec(rng, n)
+	y1 := make([]float32, m)
+	y2 := make([]float32, m)
+	if err := SpmvCSRNaive(m, rowPtr, colIdx, values, x, y1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpmvCSR(m, rowPtr, colIdx, values, x, y2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if !almostEqual(float64(y1[i]), float64(y2[i]), 1e-4) {
+			t.Fatalf("row %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestSpmvEmptyRows(t *testing.T) {
+	rowPtr := []int32{0, 0, 1, 1}
+	colIdx := []int32{0}
+	values := []float32{7}
+	x := []float32{2}
+	y := []float32{9, 9, 9}
+	if err := SpmvCSR(3, rowPtr, colIdx, values, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 0 || y[1] != 14 || y[2] != 0 {
+		t.Errorf("y = %v, want [0 14 0]", y)
+	}
+}
+
+func TestSpmvErrors(t *testing.T) {
+	rp, ci, v := smallCSR()
+	x := make([]float32, 3)
+	y := make([]float32, 3)
+	if err := SpmvCSR(-1, rp, ci, v, x, y); err == nil {
+		t.Error("negative rows must fail")
+	}
+	if err := SpmvCSR(4, rp, ci, v, x, y); err == nil {
+		t.Error("short rowPtr must fail")
+	}
+	if err := SpmvCSR(3, rp, ci, v, x, y[:2]); err == nil {
+		t.Error("short y must fail")
+	}
+	if err := SpmvCSR(3, []int32{0, 2, 1, 5}, ci, v, x, y); err == nil {
+		t.Error("non-monotone rowPtr must fail")
+	}
+	if err := SpmvCSR(3, rp, []int32{0, 2, 1, 0, 7}, v, x, y); err == nil {
+		t.Error("column index out of range must fail")
+	}
+}

@@ -1,0 +1,360 @@
+// Package mealibrt implements the MEALib runtime routines of paper §3.5:
+// the memory management runtime (mealib_mem_alloc / mealib_mem_free, backed
+// by the device driver's physically contiguous data space) and the
+// accelerator control runtime (mealib_acc_plan / mealib_acc_execute /
+// mealib_acc_destroy, which build accelerator descriptors from TDL, place
+// them in the command space, and launch the accelerator layer).
+//
+// Every accelerator invocation pays the real coherence protocol of §3.5:
+// the host writes back dirty cache lines (wbinvd) and copies the descriptor
+// before flipping the CR command to START. Those overheads are what
+// Figures 12 and 14 measure.
+package mealibrt
+
+import (
+	"fmt"
+
+	"mealib/internal/accel"
+	"mealib/internal/cpu"
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+	"mealib/internal/tdl"
+	"mealib/internal/units"
+	"mealib/internal/vm"
+)
+
+// Config assembles a MEALib system.
+type Config struct {
+	// SpaceSize is the physical address space size.
+	SpaceSize units.Bytes
+	// Driver carve-outs.
+	Driver vm.Config
+	// Accel is the accelerator-layer configuration.
+	Accel *accel.Config
+	// Host is the central processor.
+	Host *cpu.Host
+	// DescriptorSetupLatency is the fixed driver cost of storing a
+	// descriptor and ringing the doorbell (user/kernel crossing plus
+	// uncached CR write).
+	DescriptorSetupLatency units.Seconds
+}
+
+// DefaultConfig returns the paper's system: a Haswell host in front of one
+// accelerated memory stack, with a 1 GiB data space and 16 MiB command
+// space carved out of the stack ("local memory stack", §3.3).
+func DefaultConfig() *Config {
+	return &Config{
+		SpaceSize: 8 * units.GiB,
+		Driver: vm.Config{
+			DataBase: 0x1_0000_0000,
+			DataSize: 1 * units.GiB,
+			CmdBase:  0x4000_0000,
+			CmdSize:  16 * units.MiB,
+		},
+		Accel:                  accel.MEALibConfig(),
+		Host:                   cpu.Haswell(),
+		DescriptorSetupLatency: 4 * units.Microsecond,
+	}
+}
+
+// Runtime is one loaded MEALib runtime instance.
+type Runtime struct {
+	cfg    *Config
+	space  *phys.Space
+	driver *vm.Driver
+	layer  *accel.Layer
+	// link arbitrates DRAM ownership between the host and the
+	// accelerators (paper §2.1).
+	link accel.LinkController
+	// dirty approximates the modified cache contents since the last flush.
+	dirty units.Bytes
+	stats Stats
+}
+
+// Stats aggregates invocation accounting across the runtime's lifetime
+// (feeds the Figure 14 invocation-share breakdown).
+type Stats struct {
+	Invocations    int64
+	OverheadTime   units.Seconds
+	OverheadEnergy units.Joules
+	AccelTime      units.Seconds
+	AccelEnergy    units.Joules
+}
+
+// New builds a runtime.
+func New(cfg *Config) (*Runtime, error) {
+	if cfg.Accel == nil || cfg.Host == nil {
+		return nil, fmt.Errorf("mealibrt: config missing accelerator or host")
+	}
+	if err := cfg.Host.Validate(); err != nil {
+		return nil, err
+	}
+	space := phys.NewSpace(cfg.SpaceSize)
+	driver, err := vm.NewDriver(space, cfg.Driver)
+	if err != nil {
+		return nil, err
+	}
+	// The accelerator layer lives on stack 0 (the Local Memory Stack);
+	// buffers on other stacks are remote to it. Copy the configuration so
+	// the caller's template is not mutated.
+	accelCfg := *cfg.Accel
+	if accelCfg.StackOf == nil {
+		accelCfg.StackOf = driver.StackOf
+		accelCfg.HomeStack = 0
+	}
+	layer, err := accel.NewLayer(&accelCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{cfg: cfg, space: space, driver: driver, layer: layer}, nil
+}
+
+// Space exposes the physical space (accelerator-side addressing).
+func (r *Runtime) Space() *phys.Space { return r.space }
+
+// Driver exposes the device driver (host-side addressing).
+func (r *Runtime) Driver() *vm.Driver { return r.driver }
+
+// Layer exposes the accelerator layer.
+func (r *Runtime) Layer() *accel.Layer { return r.layer }
+
+// Host exposes the central processor model.
+func (r *Runtime) Host() *cpu.Host { return r.cfg.Host }
+
+// Stats returns the accumulated invocation accounting.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// Link exposes the link controller (diagnostics and tests).
+func (r *Runtime) Link() *accel.LinkController { return &r.link }
+
+// hostAccess guards host-side buffer accesses: while the accelerators own
+// the DRAM, the link controller blocks the CPU (paper §2.1).
+func (r *Runtime) hostAccess() error {
+	if !r.link.HostMayAccess() {
+		return fmt.Errorf("mealibrt: host DRAM access blocked by the link controller (accelerators running)")
+	}
+	return nil
+}
+
+// Buffer is a MemAlloc'ed physically contiguous buffer visible to the CPU
+// (virtual address) and the accelerators (physical address).
+type Buffer struct {
+	rt   *Runtime
+	va   vm.VAddr
+	pa   phys.Addr
+	size units.Bytes
+}
+
+// VA returns the buffer's host virtual address.
+func (b *Buffer) VA() vm.VAddr { return b.va }
+
+// PA returns the buffer's physical address (what descriptors carry).
+func (b *Buffer) PA() phys.Addr { return b.pa }
+
+// Size returns the requested buffer size.
+func (b *Buffer) Size() units.Bytes { return b.size }
+
+// MemAlloc reserves a physically contiguous buffer in the local memory
+// stack's data space (mealib_mem_alloc).
+func (r *Runtime) MemAlloc(n units.Bytes) (*Buffer, error) {
+	return r.MemAllocOn(0, n)
+}
+
+// MemAllocOn reserves a buffer on an explicit memory stack (paper §3.5:
+// the allocation's stack can be specified; stack 0 is the accelerators'
+// Local Memory Stack, others are Remote Memory Stacks whose traffic
+// crosses the inter-stack links).
+func (r *Runtime) MemAllocOn(stack int, n units.Bytes) (*Buffer, error) {
+	va, pa, err := r.driver.AllocDataOn(stack, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{rt: r, va: va, pa: pa, size: n}, nil
+}
+
+// Stacks returns the number of memory stacks.
+func (r *Runtime) Stacks() int { return r.driver.Stacks() }
+
+// MemFree releases a buffer (mealib_mem_free).
+func (r *Runtime) MemFree(b *Buffer) error {
+	if b == nil || b.rt != r {
+		return fmt.Errorf("mealibrt: foreign or nil buffer")
+	}
+	return r.driver.Free(b.va)
+}
+
+// touch records host writes for the coherence model.
+func (b *Buffer) touch(n units.Bytes) { b.rt.dirty += n }
+
+// StoreFloat32s writes v at byte offset off through the host mapping.
+func (b *Buffer) StoreFloat32s(off units.Bytes, v []float32) error {
+	if err := b.rt.hostAccess(); err != nil {
+		return err
+	}
+	b.touch(units.Bytes(4 * len(v)))
+	return b.rt.space.StoreFloat32s(b.pa+phys.Addr(off), v)
+}
+
+// LoadFloat32s reads n float32 values at byte offset off.
+func (b *Buffer) LoadFloat32s(off units.Bytes, n int) ([]float32, error) {
+	if err := b.rt.hostAccess(); err != nil {
+		return nil, err
+	}
+	return b.rt.space.LoadFloat32s(b.pa+phys.Addr(off), n)
+}
+
+// StoreComplex64s writes v at byte offset off.
+func (b *Buffer) StoreComplex64s(off units.Bytes, v []complex64) error {
+	if err := b.rt.hostAccess(); err != nil {
+		return err
+	}
+	b.touch(units.Bytes(8 * len(v)))
+	return b.rt.space.StoreComplex64s(b.pa+phys.Addr(off), v)
+}
+
+// LoadComplex64s reads n complex64 values at byte offset off.
+func (b *Buffer) LoadComplex64s(off units.Bytes, n int) ([]complex64, error) {
+	if err := b.rt.hostAccess(); err != nil {
+		return nil, err
+	}
+	return b.rt.space.LoadComplex64s(b.pa+phys.Addr(off), n)
+}
+
+// WriteInt32s writes v at byte offset off.
+func (b *Buffer) WriteInt32s(off units.Bytes, v []int32) error {
+	if err := b.rt.hostAccess(); err != nil {
+		return err
+	}
+	b.touch(units.Bytes(4 * len(v)))
+	return b.rt.space.WriteInt32s(b.pa+phys.Addr(off), v)
+}
+
+// ReadInt32s reads n int32 values at byte offset off.
+func (b *Buffer) ReadInt32s(off units.Bytes, n int) ([]int32, error) {
+	if err := b.rt.hostAccess(); err != nil {
+		return nil, err
+	}
+	return b.rt.space.ReadInt32s(b.pa+phys.Addr(off), n)
+}
+
+// Plan is a reusable accelerator descriptor (mealib_acc_plan's acc_plan).
+type Plan struct {
+	rt     *Runtime
+	desc   *descriptor.Descriptor
+	baseVA vm.VAddr
+	basePA phys.Addr
+}
+
+// AccPlan compiles a TDL program against the parameter table and encodes
+// the resulting descriptor into the command space (mealib_acc_plan).
+func (r *Runtime) AccPlan(tdlSrc string, params map[string]descriptor.Params) (*Plan, error) {
+	d, err := tdl.CompileString(tdlSrc, tdl.MapResolver(params))
+	if err != nil {
+		return nil, err
+	}
+	return r.AccPlanDescriptor(d)
+}
+
+// AccPlanDescriptor installs an already-built descriptor (the path the Go
+// public API uses).
+func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	va, pa, err := r.driver.AllocCommand(d.Size())
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Encode(r.space, pa); err != nil {
+		_ = r.driver.Free(va)
+		return nil, err
+	}
+	return &Plan{rt: r, desc: d, baseVA: va, basePA: pa}, nil
+}
+
+// Descriptor returns the plan's descriptor.
+func (p *Plan) Descriptor() *descriptor.Descriptor { return p.desc }
+
+// Invocation is the outcome of one AccExecute.
+type Invocation struct {
+	// Report is the accelerator layer's execution report.
+	Report *accel.Report
+	// OverheadTime/OverheadEnergy cover the cache flush and descriptor
+	// copy (the paper's "cost of accelerator invocation", §5.5).
+	OverheadTime   units.Seconds
+	OverheadEnergy units.Joules
+	// HostIdleEnergy is what the blocked host burns while the
+	// accelerators run (the link controller blocks its DRAM accesses).
+	HostIdleEnergy units.Joules
+}
+
+// TotalTime returns overhead plus accelerator time.
+func (i *Invocation) TotalTime() units.Seconds { return i.OverheadTime + i.Report.Time }
+
+// TotalEnergy returns overhead, accelerator and idle-host energy.
+func (i *Invocation) TotalEnergy() units.Joules {
+	return i.OverheadEnergy + i.Report.Energy + i.HostIdleEnergy
+}
+
+// InvocationOverhead models the host-side cost of launching a descriptor:
+// wbinvd over the dirty working set plus the descriptor store and doorbell.
+// It is exported so the experiment harness can evaluate the identical cost
+// model at paper-scale sizes without a functional run.
+func InvocationOverhead(h *cpu.Host, setup units.Seconds, descSize, dirty units.Bytes) (units.Seconds, units.Joules) {
+	flushT, flushE := h.Cache.FlushCost(dirty)
+	copyT := h.MemBW.Time(descSize) + setup
+	t := flushT + copyT
+	e := flushE + h.ActivePower.Energy(copyT) + h.ActivePower.Energy(flushT)
+	return t, e
+}
+
+// AccExecute launches the plan (mealib_acc_execute): flush, doorbell, run,
+// and account. The same plan can be executed repeatedly.
+func (p *Plan) Execute() (*Invocation, error) {
+	r := p.rt
+	dirty := r.dirty
+	if llc := r.cfg.Host.Cache.LLC(); dirty > llc {
+		dirty = llc
+	}
+	ovT, ovE := InvocationOverhead(r.cfg.Host, r.cfg.DescriptorSetupLatency, p.desc.Size(), dirty)
+	r.dirty = 0
+	if err := descriptor.WriteCommand(r.space, p.basePA, descriptor.CmdStart); err != nil {
+		return nil, err
+	}
+	// Ownership of the DRAM passes to the accelerators for the duration of
+	// the descriptor (paper §2.1); host accesses are blocked meanwhile.
+	if err := r.link.AcquireForAccelerators(); err != nil {
+		return nil, err
+	}
+	rep, err := r.layer.Run(r.space, p.basePA)
+	if relErr := r.link.ReleaseToHost(); relErr != nil && err == nil {
+		err = relErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	idle := r.cfg.Host.Wait(rep.Time)
+	inv := &Invocation{
+		Report:         rep,
+		OverheadTime:   ovT,
+		OverheadEnergy: ovE,
+		HostIdleEnergy: idle.Energy,
+	}
+	r.stats.Invocations++
+	r.stats.OverheadTime += ovT
+	r.stats.OverheadEnergy += ovE
+	r.stats.AccelTime += rep.Time
+	r.stats.AccelEnergy += rep.Energy
+	return inv, nil
+}
+
+// Destroy releases the plan's command-space allocation
+// (mealib_acc_destroy).
+func (p *Plan) Destroy() error {
+	if p.baseVA == 0 {
+		return fmt.Errorf("mealibrt: plan already destroyed")
+	}
+	err := p.rt.driver.Free(p.baseVA)
+	p.baseVA = 0
+	return err
+}

@@ -1,0 +1,266 @@
+// Package phys simulates the unified physical address space shared by the
+// host CPU and the memory-side accelerators (paper §3.3). Regions of the
+// space are backed by real process memory, so accelerator "hardware" and the
+// host library run against the same bytes — exactly the property MEALib's
+// shared memory management provides on real silicon.
+//
+// The space is sparse: only mapped regions consume memory. Accelerators use
+// physical addressing; the vm package layers virtual addressing for the host
+// on top of this package.
+package phys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"mealib/internal/units"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// String renders the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%012x", uint64(a)) }
+
+// Region is a mapped, physically contiguous span of the space.
+type Region struct {
+	addr Addr
+	data []byte
+}
+
+// Addr returns the region's base physical address.
+func (r *Region) Addr() Addr { return r.addr }
+
+// Size returns the region's length in bytes.
+func (r *Region) Size() units.Bytes { return units.Bytes(len(r.data)) }
+
+// Bytes returns the backing storage. The slice aliases the region: writes
+// through it are visible to every other accessor.
+func (r *Region) Bytes() []byte { return r.data }
+
+func (r *Region) contains(a Addr) bool {
+	return a >= r.addr && uint64(a-r.addr) < uint64(len(r.data))
+}
+
+func (r *Region) end() Addr { return r.addr + Addr(len(r.data)) }
+
+// Space is a sparse simulated physical address space.
+type Space struct {
+	size    units.Bytes
+	regions []*Region // sorted by base address, non-overlapping
+}
+
+// NewSpace returns an empty space of the given total size.
+func NewSpace(size units.Bytes) *Space {
+	return &Space{size: size}
+}
+
+// Size returns the capacity of the space.
+func (s *Space) Size() units.Bytes { return s.size }
+
+// Mapped returns the total size of all mapped regions.
+func (s *Space) Mapped() units.Bytes {
+	var total units.Bytes
+	for _, r := range s.regions {
+		total += r.Size()
+	}
+	return total
+}
+
+// locate returns the index of the region containing a, or -1.
+func (s *Space) locate(a Addr) int {
+	i := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].end() > a
+	})
+	if i < len(s.regions) && s.regions[i].contains(a) {
+		return i
+	}
+	return -1
+}
+
+// Map creates a region of the given size at addr. It fails if the region
+// would exceed the space or overlap an existing region.
+func (s *Space) Map(addr Addr, size units.Bytes) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("phys: map %s: non-positive size %d", addr, size)
+	}
+	if uint64(addr)+uint64(size) > uint64(s.size) {
+		return nil, fmt.Errorf("phys: map %s+%s exceeds space size %s", addr, size, s.size)
+	}
+	i := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].end() > addr
+	})
+	if i < len(s.regions) && s.regions[i].addr < addr+Addr(size) {
+		return nil, fmt.Errorf("phys: map %s+%s overlaps region at %s", addr, size, s.regions[i].addr)
+	}
+	r := &Region{addr: addr, data: make([]byte, size)}
+	s.regions = append(s.regions, nil)
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+	return r, nil
+}
+
+// Unmap removes the region based at addr. The address must be a region base.
+func (s *Space) Unmap(addr Addr) error {
+	i := s.locate(addr)
+	if i < 0 || s.regions[i].addr != addr {
+		return fmt.Errorf("phys: unmap %s: no region based there", addr)
+	}
+	s.regions = append(s.regions[:i], s.regions[i+1:]...)
+	return nil
+}
+
+// Region returns the region containing addr, if any.
+func (s *Space) Region(addr Addr) (*Region, bool) {
+	i := s.locate(addr)
+	if i < 0 {
+		return nil, false
+	}
+	return s.regions[i], true
+}
+
+// slice returns the n bytes at addr, which must lie inside one region.
+func (s *Space) slice(addr Addr, n int) ([]byte, error) {
+	i := s.locate(addr)
+	if i < 0 {
+		return nil, fmt.Errorf("phys: access to unmapped address %s", addr)
+	}
+	r := s.regions[i]
+	off := int(addr - r.addr)
+	if off+n > len(r.data) {
+		return nil, fmt.Errorf("phys: access %s+%d crosses region end %s", addr, n, r.end())
+	}
+	return r.data[off : off+n], nil
+}
+
+// ViewBytes returns a zero-copy view of n bytes at addr.
+func (s *Space) ViewBytes(addr Addr, n int) ([]byte, error) { return s.slice(addr, n) }
+
+// ReadUint32 reads a little-endian uint32.
+func (s *Space) ReadUint32(addr Addr) (uint32, error) {
+	b, err := s.slice(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// WriteUint32 writes a little-endian uint32.
+func (s *Space) WriteUint32(addr Addr, v uint32) error {
+	b, err := s.slice(addr, 4)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b, v)
+	return nil
+}
+
+// ReadUint64 reads a little-endian uint64.
+func (s *Space) ReadUint64(addr Addr) (uint64, error) {
+	b, err := s.slice(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// WriteUint64 writes a little-endian uint64.
+func (s *Space) WriteUint64(addr Addr, v uint64) error {
+	b, err := s.slice(addr, 8)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(b, v)
+	return nil
+}
+
+// ReadFloat32 reads an IEEE-754 float32.
+func (s *Space) ReadFloat32(addr Addr) (float32, error) {
+	v, err := s.ReadUint32(addr)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(v), nil
+}
+
+// WriteFloat32 writes an IEEE-754 float32.
+func (s *Space) WriteFloat32(addr Addr, v float32) error {
+	return s.WriteUint32(addr, math.Float32bits(v))
+}
+
+// LoadFloat32s copies n float32 values starting at addr.
+func (s *Space) LoadFloat32s(addr Addr, n int) ([]float32, error) {
+	b, err := s.slice(addr, 4*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// StoreFloat32s copies v into the space starting at addr.
+func (s *Space) StoreFloat32s(addr Addr, v []float32) error {
+	b, err := s.slice(addr, 4*len(v))
+	if err != nil {
+		return err
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(x))
+	}
+	return nil
+}
+
+// LoadComplex64s copies n complex64 values (interleaved re,im float32 pairs)
+// starting at addr.
+func (s *Space) LoadComplex64s(addr Addr, n int) ([]complex64, error) {
+	f, err := s.LoadFloat32s(addr, 2*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex64, n)
+	for i := range out {
+		out[i] = complex(f[2*i], f[2*i+1])
+	}
+	return out, nil
+}
+
+// StoreComplex64s copies v into the space starting at addr.
+func (s *Space) StoreComplex64s(addr Addr, v []complex64) error {
+	f := make([]float32, 2*len(v))
+	for i, c := range v {
+		f[2*i] = real(c)
+		f[2*i+1] = imag(c)
+	}
+	return s.StoreFloat32s(addr, f)
+}
+
+// ReadInt32s copies n int32 values starting at addr (used for CSR index
+// arrays consumed by the SPMV accelerator).
+func (s *Space) ReadInt32s(addr Addr, n int) ([]int32, error) {
+	b, err := s.slice(addr, 4*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// WriteInt32s copies v into the space starting at addr.
+func (s *Space) WriteInt32s(addr Addr, v []int32) error {
+	b, err := s.slice(addr, 4*len(v))
+	if err != nil {
+		return err
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return nil
+}

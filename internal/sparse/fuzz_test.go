@@ -1,0 +1,31 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket hardens the Matrix Market reader: arbitrary input
+// must never panic; anything that parses must validate.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n3 1\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"garbage",
+		"%%MatrixMarket matrix coordinate real general\n1 1 99999999\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n-1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadMatrixMarket(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parsed matrix fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package tdl
+
+import (
+	"fmt"
+
+	"mealib/internal/descriptor"
+)
+
+// ParamResolver maps a COMP parameter reference (the "fft.para" strings the
+// compiler emits) to the parameter fields of that invocation. In the paper
+// these are files next to the generated code; here they are tables produced
+// by the same compiler pass.
+type ParamResolver func(ref string) (descriptor.Params, error)
+
+// MapResolver adapts a plain map to a ParamResolver.
+func MapResolver(m map[string]descriptor.Params) ParamResolver {
+	return func(ref string) (descriptor.Params, error) {
+		p, ok := m[ref]
+		if !ok {
+			return nil, fmt.Errorf("tdl: unresolved parameter reference %q", ref)
+		}
+		return p, nil
+	}
+}
+
+// Compile lowers a TDL program to an accelerator descriptor, resolving every
+// parameter reference.
+func Compile(prog *Program, resolve ParamResolver) (*descriptor.Descriptor, error) {
+	if prog == nil || len(prog.Blocks) == 0 {
+		return nil, fmt.Errorf("tdl: empty program")
+	}
+	if resolve == nil {
+		return nil, fmt.Errorf("tdl: nil parameter resolver")
+	}
+	d := &descriptor.Descriptor{}
+	addPass := func(pass Pass) error {
+		for _, c := range pass.Comps {
+			p, err := resolve(c.ParamRef)
+			if err != nil {
+				return err
+			}
+			if err := d.AddComp(c.Op, p); err != nil {
+				return err
+			}
+		}
+		d.AddEndPass()
+		return nil
+	}
+	for _, blk := range prog.Blocks {
+		switch v := blk.(type) {
+		case Pass:
+			if err := addPass(v); err != nil {
+				return nil, err
+			}
+		case Loop:
+			counts := make([]uint32, len(v.Counts))
+			for i, c := range v.Counts {
+				counts[i] = uint32(c)
+			}
+			if err := d.AddLoop(counts...); err != nil {
+				return nil, err
+			}
+			for _, pass := range v.Passes {
+				if err := addPass(pass); err != nil {
+					return nil, err
+				}
+			}
+			d.AddEndLoop()
+		default:
+			return nil, fmt.Errorf("tdl: unknown block type %T", blk)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// CompileString parses and compiles in one step.
+func CompileString(src string, resolve ParamResolver) (*descriptor.Descriptor, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, resolve)
+}
+
+// MergePasses implements the chaining optimization of compiler pass 1
+// (paper §3.4): when two adjacent top-level passes form a producer/consumer
+// pair, they are merged into one pass so the configuration unit chains the
+// accelerators through tile-local memory instead of round-tripping the
+// intermediate through DRAM. The caller asserts chainability (the compiler
+// checks that the output buffer of the first is the input of the second).
+func MergePasses(prog *Program, i int) error {
+	if i < 0 || i+1 >= len(prog.Blocks) {
+		return fmt.Errorf("tdl: merge index %d out of range", i)
+	}
+	a, ok1 := prog.Blocks[i].(Pass)
+	b, ok2 := prog.Blocks[i+1].(Pass)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("tdl: blocks %d and %d are not both passes", i, i+1)
+	}
+	merged := Pass{Comps: append(append([]Comp(nil), a.Comps...), b.Comps...)}
+	prog.Blocks = append(prog.Blocks[:i], append([]Block{merged}, prog.Blocks[i+2:]...)...)
+	return nil
+}

@@ -1,0 +1,46 @@
+package tdl
+
+import (
+	"testing"
+
+	"mealib/internal/descriptor"
+)
+
+// FuzzParse hardens the TDL front end: arbitrary input must never panic,
+// and anything that parses must survive Format -> Parse -> Compile.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`PASS { COMP FFT PARAMS "fft.para" }`,
+		`LOOP 128 { PASS { COMP DOT PARAMS "dot.para" } }`,
+		`LOOP 4 8 16 { PASS { COMP AXPY PARAMS "a" COMP RESHP PARAMS "b" } }`,
+		"# comment only",
+		`PASS {`,
+		`LOOP { PASS { COMP FFT PARAMS "p" } }`,
+		`PASS { COMP NOPE PARAMS "p" }`,
+		"\x00\xff{}",
+		`LOOP 99999999999999999999 { PASS { COMP FFT PARAMS "p" } }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n%q", err, text)
+		}
+		resolver := func(string) (descriptor.Params, error) { return descriptor.Params{1}, nil }
+		d1, err1 := Compile(prog, resolver)
+		d2, err2 := Compile(prog2, resolver)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("compile divergence: %v vs %v", err1, err2)
+		}
+		if err1 == nil && len(d1.Instrs) != len(d2.Instrs) {
+			t.Fatalf("instruction count divergence: %d vs %d", len(d1.Instrs), len(d2.Instrs))
+		}
+	})
+}
