@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the full local gate: build, vet, lint (cmd/mealint), then the
+# test suite under the race detector. CI and pre-commit both run exactly
+# this; a clean exit here means the tree is submittable.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/mealint ./..."
+go run ./cmd/mealint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"

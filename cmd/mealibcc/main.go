@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	mealibcc [-D NAME=VALUE ...] [-o out.c] [-summary] input.c
+//	mealibcc [-D NAME=VALUE ...] [-o out.c] [-summary] [-nocheck] input.c
+//
+// Every generated TDL program is run back through the parser and the static
+// verifier (internal/analysis/tdlcheck) before the transformed source is
+// emitted; -nocheck skips that pass.
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"strconv"
 	"strings"
 
+	"mealib/internal/analysis/tdlcheck"
 	"mealib/internal/ccompiler"
+	"mealib/internal/tdl"
 )
 
 // defineFlags collects repeated -D NAME=VALUE flags.
@@ -40,11 +46,12 @@ func main() {
 	defines := defineFlags{"NULL": 0, "FFTW_FORWARD": 0, "FFTW_WISDOM_ONLY": 0}
 	out := flag.String("o", "", "write transformed source here (default stdout)")
 	summary := flag.Bool("summary", false, "print the compilation summary instead of the source")
+	nocheck := flag.Bool("nocheck", false, "skip the static verifier on generated TDL programs")
 	flag.Var(defines, "D", "define an integer constant (repeatable): -D N_DOP=256")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mealibcc [-D NAME=VALUE ...] [-o out.c] [-summary] input.c")
+		fmt.Fprintln(os.Stderr, "usage: mealibcc [-D NAME=VALUE ...] [-o out.c] [-summary] [-nocheck] input.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -56,6 +63,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mealibcc:", err)
 		os.Exit(1)
+	}
+	if !*nocheck {
+		for _, plan := range res.Plans {
+			prog, err := tdl.Parse(plan.TDL)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mealibcc: generated TDL for %s does not parse: %v\n", plan.Name, err)
+				os.Exit(1)
+			}
+			if err := tdlcheck.VerifyProgram(prog); err != nil {
+				fmt.Fprintf(os.Stderr, "mealibcc: generated TDL for %s rejected: %v\n", plan.Name, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *summary {
 		fmt.Print(res.Describe())

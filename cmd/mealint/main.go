@@ -1,0 +1,84 @@
+// Command mealint runs the MEALib static-analysis suite
+// (internal/analysis) over the repository. It is built entirely on the
+// standard library's go/parser, go/ast and go/types — the module has no
+// external dependencies, and this tool keeps it that way.
+//
+// Usage:
+//
+//	mealint [-list] [-run name,name] [packages]
+//
+// Package patterns are directories relative to the working directory;
+// "dir/..." recurses (testdata, hidden and underscore directories are
+// skipped). With no patterns, ./... is analyzed. Test files are included.
+// Exits 1 when any diagnostic is reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mealib/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-9s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *run != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "mealint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mealint:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mealint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mealint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(cwd, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mealint:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mealint: %d packages clean\n", len(pkgs))
+}

@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	tdlc [-dump] program.tdl
+//	tdlc [-dump] [-nocheck] program.tdl
 //	echo 'LOOP 128 { PASS { COMP FFT PARAMS "fft.para" } }' | tdlc -dump -
+//
+// Programs are run through the static verifier (internal/analysis/tdlcheck)
+// by default; -nocheck skips it.
 package main
 
 import (
@@ -15,15 +18,17 @@ import (
 	"io"
 	"os"
 
+	"mealib/internal/analysis/tdlcheck"
 	"mealib/internal/descriptor"
 	"mealib/internal/tdl"
 )
 
 func main() {
 	dump := flag.Bool("dump", false, "print the compiled descriptor instruction listing")
+	nocheck := flag.Bool("nocheck", false, "skip the static verifier")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tdlc [-dump] program.tdl (use - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: tdlc [-dump] [-nocheck] program.tdl (use - for stdin)")
 		os.Exit(2)
 	}
 	var src []byte
@@ -41,6 +46,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdlc:", err)
 		os.Exit(1)
+	}
+	if !*nocheck {
+		if err := tdlcheck.VerifyProgram(prog); err != nil {
+			fmt.Fprintln(os.Stderr, "tdlc:", err)
+			os.Exit(1)
+		}
 	}
 	if !*dump {
 		fmt.Print(tdl.Format(prog))

@@ -64,7 +64,7 @@ func TestRunModelMatchesFunctionalRun(t *testing.T) {
 	}
 	for op, fs := range functional.PerOp {
 		ms := model.PerOp[op]
-		if ms == nil || ms.Invocations != fs.Invocations || ms.Flops != fs.Flops || ms.Bytes != fs.Bytes {
+		if ms == nil || ms.Invocations != fs.Invocations || !units.CloseTo(float64(ms.Flops), float64(fs.Flops)) || ms.Bytes != fs.Bytes {
 			t.Errorf("%v per-op stats diverge: functional %+v model %+v", op, fs, ms)
 		}
 	}

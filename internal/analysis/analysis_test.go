@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches `// want "regex"` or `// want `+"`regex`"+` expectation
+// comments in testdata sources (same convention as x/tools analysistest,
+// reimplemented here on the standard library).
+var wantRe = regexp.MustCompile("want\\s+(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// expectation is one want comment: a diagnostic matching re must be
+// reported at file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants extracts the expectations from a loaded package's comments.
+func collectWants(t *testing.T, p *Pkg) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					raw := m[1]
+					var pat string
+					if raw[0] == '`' {
+						pat = raw[1 : len(raw)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(raw)
+						if err != nil {
+							t.Fatalf("bad want comment %q: %v", c.Text, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", pat, err)
+					}
+					pos := p.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzers runs each analyzer over its testdata package and checks
+// the reported diagnostics against the // want comments: every want must
+// be matched by a diagnostic on its line, and every diagnostic must be
+// covered by a want.
+func TestAnalyzers(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Analyzers() {
+		t.Run(a.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name())
+			pkgs, err := loader.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkgs) == 0 {
+				t.Fatalf("no package in %s", dir)
+			}
+			var wants []*expectation
+			var diags []Diagnostic
+			for _, p := range pkgs {
+				wants = append(wants, collectWants(t, p)...)
+				diags = append(diags, a.Run(p)...)
+			}
+			if len(wants) < 2 {
+				t.Fatalf("testdata for %s seeds %d violations; want at least 2", a.Name(), len(wants))
+			}
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestByName checks registry lookups.
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if got := ByName(a.Name()); got == nil || got.Name() != a.Name() {
+			t.Errorf("ByName(%q) = %v", a.Name(), got)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}
+
+// TestLoaderRepo smoke-tests the loader against the real module: the
+// analysis package itself must load and come back clean under the suite.
+func TestLoaderRepo(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join(root, "internal", "units"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/units not clean:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+// TestDiagnosticString pins the rendered diagnostic shape mealint prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "floateq", Message: "== on floating-point values"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "x.go", 3, 7
+	want := "x.go:3:7: [floateq] == on floating-point values"
+	if got := fmt.Sprint(d); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detrand flags wall-clock time and unseeded randomness inside the
+// deterministic simulator packages (everything under internal/ except
+// internal/exp). The performance and energy models must produce identical
+// numbers for identical inputs — that is what makes regressions
+// bisectable — so simulated time has to come from the model, and any
+// randomness has to flow through rand.New(rand.NewSource(seed)).
+//
+// internal/exp is exempt: it hosts the experiment harness, where
+// wall-clock measurement is the whole point.
+type detrand struct{}
+
+func (detrand) Name() string { return "detrand" }
+
+func (detrand) Doc() string {
+	return "time.Now or global math/rand in deterministic simulator packages"
+}
+
+// detrandAllowed lists math/rand package-level functions that construct
+// seeded sources rather than consult the global one.
+var detrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func (detrand) Run(p *Pkg) []Diagnostic {
+	path := strings.TrimSuffix(p.Path, ".test")
+	mod := p.modulePath()
+	if !strings.HasPrefix(path, mod+"/internal/") {
+		return nil
+	}
+	if path == mod+"/internal/exp" || strings.HasPrefix(path, mod+"/internal/exp/") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if sel.Sel.Name == "Now" {
+					out = append(out, Diagnostic{
+						Pos:      p.Position(sel.Pos()),
+						Analyzer: "detrand",
+						Message:  "time.Now in a deterministic simulator package; take time from the model clock",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if detrandAllowed[sel.Sel.Name] {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:      p.Position(sel.Pos()),
+					Analyzer: "detrand",
+					Message: fmt.Sprintf("global math/rand source (rand.%s) in a deterministic simulator package; use rand.New(rand.NewSource(seed))",
+						sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// errcheck flags expression statements that call a function from this
+// module and silently discard an error result. Runtime and driver calls
+// (AccPlan, Plan.Execute, Buffer stores, ...) report real failures —
+// rejected descriptors, out-of-range spans — and dropping them hides
+// corruption until a model number is silently wrong. Stdlib calls are not
+// flagged (fmt.Println-style noise), and an explicit `_ =` assignment is
+// an accepted opt-out.
+type errcheck struct{}
+
+func (errcheck) Name() string { return "errcheck" }
+
+func (errcheck) Doc() string {
+	return "module-internal calls whose error result is silently discarded"
+}
+
+func (errcheck) Run(p *Pkg) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p, call)
+			if fn == nil || fn.Pkg() == nil || !p.inModule(fn.Pkg().Path()) {
+				return true
+			}
+			if !returnsError(p, call) {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:      p.Position(call.Lparen),
+				Analyzer: "errcheck",
+				Message:  fmt.Sprintf("result of %s is discarded but it returns an error", fn.FullName()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(p *Pkg, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(tv.Type, errorType)
+}

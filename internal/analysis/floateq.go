@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floateq flags == and != on model outputs: values whose types are
+// module-defined named types with floating-point (or complex) underlying
+// — units.Seconds, units.Joules, units.Watts, units.BytesPerSec and
+// friends. These numbers come out of chains of float64 arithmetic in the
+// performance and energy models, so exact comparison is a portability
+// bug: it may hold on one machine and fail on another. An explicit
+// conversion does not launder the dimension — float64(tab.Power) != want
+// is still an exact compare of a model output.
+//
+// Raw float64/float32 comparisons are left alone (reference-kernel tests
+// legitimately compare exact hand-computed values), as are two idioms on
+// model outputs: comparison against a literal zero (a common "field
+// unset" sentinel, exact by IEEE-754) and the x != x NaN test.
+type floateq struct{}
+
+func (floateq) Name() string { return "floateq" }
+
+func (floateq) Doc() string {
+	return "==/!= on floating-point model outputs that need a tolerance"
+}
+
+func (floateq) Run(p *Pkg) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			lu, lt := modelFloat(p, b.X)
+			ru, rt := modelFloat(p, b.Y)
+			if !lu && !ru {
+				return true
+			}
+			if isZeroConst(p.Info.Types[unparen(b.X)]) || isZeroConst(p.Info.Types[unparen(b.Y)]) {
+				return true
+			}
+			if types.ExprString(b.X) == types.ExprString(b.Y) {
+				return true // x != x: the NaN test
+			}
+			t := lt
+			if !lu {
+				t = rt
+			}
+			out = append(out, Diagnostic{
+				Pos:      p.Position(b.OpPos),
+				Analyzer: "floateq",
+				Message:  fmt.Sprintf("%s on %s model output; compare with an explicit tolerance", b.Op, t),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// modelFloat reports whether the expression carries a floating-point
+// model quantity: its type is a module-defined named type with float or
+// complex underlying, or it is an explicit conversion of one (the
+// conversion changes the Go type but not the dimension of the number).
+func modelFloat(p *Pkg, e ast.Expr) (bool, string) {
+	e = unparen(e)
+	if t, ok := namedModuleFloat(p, p.Info.Types[e].Type); ok {
+		return true, t
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false, ""
+	}
+	if tv, ok := p.Info.Types[unparen(call.Fun)]; !ok || !tv.IsType() {
+		return false, "" // a real call, not a conversion
+	}
+	return modelFloat(p, call.Args[0])
+}
+
+// namedModuleFloat reports whether t is a named float/complex type
+// defined in this module, and if so returns its display name.
+func namedModuleFloat(p *Pkg, t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !p.inModule(obj.Pkg().Path()) {
+		return "", false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsFloat|types.IsComplex) == 0 {
+		return "", false
+	}
+	return obj.Pkg().Name() + "." + obj.Name(), true
+}
+
+// isZeroConst reports whether the operand is a compile-time constant
+// equal to zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 &&
+			constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}

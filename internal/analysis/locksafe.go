@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// locksafe enforces the repo's mutex convention: in a struct holding a
+// sync.Mutex or sync.RWMutex, every field declared after the mutex is
+// guarded by it. A method that touches a guarded field through its
+// receiver without taking the lock anywhere in its body is flagged — in
+// the simulator that is exactly the shape of race that corrupts link
+// statistics under concurrent compute units.
+//
+// Methods whose names end in "Locked" are exempt (the caller holds the
+// lock by contract), as are fields declared before the mutex.
+type locksafe struct{}
+
+func (locksafe) Name() string { return "locksafe" }
+
+func (locksafe) Doc() string {
+	return "mutex-guarded struct fields accessed without holding the lock"
+}
+
+// guardedStruct describes one struct with a mutex field.
+type guardedStruct struct {
+	muField  string // mutex field name ("Mutex" when embedded)
+	embedded bool
+	guarded  map[string]bool // fields declared after the mutex
+}
+
+func (locksafe) Run(p *Pkg) []Diagnostic {
+	structs := collectGuarded(p)
+	if len(structs) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			tname := receiverTypeName(fd)
+			gs, ok := structs[tname]
+			if !ok {
+				continue
+			}
+			if name := fd.Name.Name; len(name) > 6 && name[len(name)-6:] == "Locked" {
+				continue
+			}
+			recv := receiverName(fd)
+			if recv == "" || recv == "_" {
+				continue
+			}
+			if methodLocks(fd.Body, recv, gs) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := unparen(sel.X).(*ast.Ident)
+				if !ok || id.Name != recv || !gs.guarded[sel.Sel.Name] {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:      p.Position(sel.Sel.Pos()),
+					Analyzer: "locksafe",
+					Message: fmt.Sprintf("field %s of %s is guarded by %s but %s does not hold the lock",
+						sel.Sel.Name, tname, gs.muField, fd.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectGuarded finds every struct type in the package that declares a
+// sync mutex field followed by at least one other field.
+func collectGuarded(p *Pkg) map[string]*guardedStruct {
+	out := make(map[string]*guardedStruct)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{guarded: make(map[string]bool)}
+			seen := false
+			for _, fld := range st.Fields.List {
+				if !seen && isMutexType(p, fld.Type) {
+					seen = true
+					if len(fld.Names) == 0 {
+						gs.muField, gs.embedded = "Mutex", true
+						if named, ok := p.Info.Types[fld.Type].Type.(*types.Named); ok {
+							gs.muField = named.Obj().Name()
+						}
+					} else {
+						gs.muField = fld.Names[0].Name
+					}
+					continue
+				}
+				if seen {
+					for _, id := range fld.Names {
+						gs.guarded[id.Name] = true
+					}
+				}
+			}
+			if seen && len(gs.guarded) > 0 {
+				out[ts.Name.Name] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isMutexType reports whether the field type is sync.Mutex or sync.RWMutex.
+func isMutexType(p *Pkg, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// methodLocks reports whether the body calls Lock or RLock on the
+// receiver's mutex field (recv.mu.Lock(), or recv.Lock() when embedded).
+func methodLocks(body *ast.BlockStmt, recv string, gs *guardedStruct) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := unparen(sel.X).(type) {
+		case *ast.SelectorExpr: // recv.mu.Lock()
+			if id, ok := unparen(x.X).(*ast.Ident); ok && id.Name == recv && x.Sel.Name == gs.muField {
+				found = true
+			}
+		case *ast.Ident: // recv.Lock() with an embedded mutex
+			if gs.embedded && x.Name == recv {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receiverTypeName returns the base type name of a method receiver.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// receiverName returns the receiver variable name, or "".
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}

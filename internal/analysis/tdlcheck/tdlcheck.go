@@ -1,0 +1,694 @@
+// Package tdlcheck statically verifies TDL programs and accelerator
+// descriptors before they reach the simulated stack. The compiler and the
+// runtime trust descriptor contents; without this pass a malformed task
+// graph (dangling parameter reference, zero-trip loop, overlapping operand
+// spans, inconsistent operand sizes, non-power-of-two FFT, read of an
+// uninitialized intermediate) only surfaces — or silently corrupts results —
+// deep inside the accelerator layer. Production library stacks reject such
+// inputs up front (cf. MKL input validation); tdlcheck is that layer.
+//
+// Three entry points, by how much is known at the call site:
+//
+//   - VerifyProgram checks a parsed tdl.Program structurally (loop trip
+//     counts, nesting, opcode validity) without parameter bindings — what
+//     tdlc and the source-to-source compiler can check.
+//   - Verify additionally resolves every parameter reference and checks the
+//     per-kernel operand semantics and the dataflow of the task graph —
+//     what mealib_acc_plan checks.
+//   - VerifyDescriptor performs the operand and dataflow checks on an
+//     already-lowered descriptor — what the runtime checks on the
+//     AccPlanDescriptor path and again (with the host-initialized span set)
+//     at execute time.
+//
+// Errors carry positions: the TDL source line when the program was parsed,
+// otherwise the accelerator-invocation index.
+package tdlcheck
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+	"mealib/internal/tdl"
+	"mealib/internal/units"
+)
+
+// Error is one verification failure with its position.
+type Error struct {
+	// Line is the 1-based TDL source line (0 when the program was built
+	// programmatically or verified at the descriptor level).
+	Line int
+	// Comp is the index of the accelerator invocation the failure belongs
+	// to, in program order (-1 when not invocation-specific).
+	Comp int
+	// Msg describes the failure.
+	Msg string
+}
+
+// Error renders the failure with its position.
+func (e *Error) Error() string {
+	switch {
+	case e.Line > 0:
+		return fmt.Sprintf("tdlcheck: line %d: %s", e.Line, e.Msg)
+	case e.Comp >= 0:
+		return fmt.Sprintf("tdlcheck: comp %d: %s", e.Comp, e.Msg)
+	default:
+		return "tdlcheck: " + e.Msg
+	}
+}
+
+// ErrorList collects every failure found in one verification pass.
+type ErrorList []*Error
+
+// Error renders the whole list, one failure per line.
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "tdlcheck: no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// errs is a builder for ErrorList.
+type errs struct{ list ErrorList }
+
+func (e *errs) addf(line, comp int, format string, args ...interface{}) {
+	e.list = append(e.list, &Error{Line: line, Comp: comp, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (e *errs) err() error {
+	if len(e.list) == 0 {
+		return nil
+	}
+	return e.list
+}
+
+// Span is a half-open byte range [Addr, Addr+Bytes) in the physical space.
+type Span struct {
+	Addr  phys.Addr
+	Bytes units.Bytes
+}
+
+func (s Span) end() phys.Addr { return s.Addr + phys.Addr(s.Bytes) }
+
+// Overlaps reports whether the two spans share at least one byte.
+func (s Span) Overlaps(o Span) bool {
+	if s.Bytes <= 0 || o.Bytes <= 0 {
+		return false
+	}
+	return s.Addr < o.end() && o.Addr < s.end()
+}
+
+// String renders the span.
+func (s Span) String() string {
+	return fmt.Sprintf("[%v,+%v)", s.Addr, s.Bytes)
+}
+
+// access is the direction an operand is streamed.
+type access uint8
+
+const (
+	accRead access = 1 << iota
+	accWrite
+)
+
+// operand is one buffer an invocation touches.
+type operand struct {
+	name string
+	// base is the span at loop iteration zero; ext extends it over the
+	// hardware loop nest strides (what the whole LOOP touches).
+	base, ext Span
+	align     int64 // required address alignment (element size)
+	acc       access
+}
+
+// comp is one accelerator invocation in verification form.
+type comp struct {
+	line int // 0 when unknown
+	idx  int // invocation index in program order
+	pass int // pass ordinal
+	op   descriptor.OpCode
+	ops  []operand
+}
+
+// span64 returns the element extent of a strided BLAS vector.
+func span64(n, inc int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if inc < 0 {
+		inc = -inc
+	}
+	return (n-1)*inc + 1
+}
+
+// extend widens base over the loop nest: each level contributes
+// (iterations-1) strides in its direction.
+func extend(base Span, st accel.Strides, counts descriptor.LoopCounts) Span {
+	out := base
+	for l := 0; l < descriptor.MaxLoopLevels; l++ {
+		n := int64(counts[l])
+		if n < 1 {
+			n = 1
+		}
+		delta := st[l] * (n - 1)
+		if delta < 0 {
+			out.Addr += phys.Addr(delta)
+			out.Bytes += units.Bytes(-delta)
+		} else {
+			out.Bytes += units.Bytes(delta)
+		}
+	}
+	return out
+}
+
+// noStrides is the zero loop-stride vector for operands without per-level
+// advancement.
+var noStrides accel.Strides
+
+// operandsOf decodes the parameter block of one invocation, performs the
+// per-kernel semantic checks, and returns the operand list. counts is the
+// enclosing hardware loop nest (all-ones outside a LOOP).
+func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.LoopCounts, fail func(format string, args ...interface{})) []operand {
+	mk := func(name string, addr phys.Addr, n units.Bytes, align int64, acc access, st accel.Strides) operand {
+		base := Span{Addr: addr, Bytes: n}
+		return operand{name: name, base: base, ext: extend(base, st, counts), align: align, acc: acc}
+	}
+	switch op {
+	case descriptor.OpAXPY:
+		a, err := accel.DecodeAxpyArgs(p)
+		if err != nil {
+			fail("%v", err)
+			return nil
+		}
+		if a.N <= 0 {
+			fail("AXPY: non-positive vector length N=%d", a.N)
+			return nil
+		}
+		if a.IncX == 0 || a.IncY == 0 {
+			fail("AXPY: zero vector increment (incX=%d incY=%d)", a.IncX, a.IncY)
+			return nil
+		}
+		return []operand{
+			mk("x", a.X, units.Bytes(4*span64(a.N, a.IncX)), 4, accRead, a.LoopStrideX),
+			mk("y", a.Y, units.Bytes(4*span64(a.N, a.IncY)), 4, accRead|accWrite, a.LoopStrideY),
+		}
+	case descriptor.OpDOT:
+		a, err := accel.DecodeDotArgs(p)
+		if err != nil {
+			fail("%v", err)
+			return nil
+		}
+		if a.N <= 0 {
+			fail("DOT: non-positive vector length N=%d", a.N)
+			return nil
+		}
+		if a.IncX == 0 || a.IncY == 0 {
+			fail("DOT: zero vector increment (incX=%d incY=%d)", a.IncX, a.IncY)
+			return nil
+		}
+		elem := int64(4)
+		if a.Complex {
+			elem = 8
+		}
+		return []operand{
+			mk("x", a.X, units.Bytes(elem*span64(a.N, a.IncX)), elem, accRead, a.LoopStrideX),
+			mk("y", a.Y, units.Bytes(elem*span64(a.N, a.IncY)), elem, accRead, a.LoopStrideY),
+			mk("out", a.Out, units.Bytes(elem), elem, accWrite, a.LoopStrideOut),
+		}
+	case descriptor.OpGEMV:
+		a, err := accel.DecodeGemvArgs(p)
+		if err != nil {
+			fail("%v", err)
+			return nil
+		}
+		if a.M <= 0 || a.N <= 0 {
+			fail("GEMV: non-positive matrix dimensions %dx%d", a.M, a.N)
+			return nil
+		}
+		if a.Lda < a.N {
+			fail("GEMV: leading dimension %d smaller than row length %d (operand size mismatch)", a.Lda, a.N)
+			return nil
+		}
+		yAcc := accWrite
+		if a.Beta != 0 {
+			yAcc |= accRead // y is accumulated into only when beta != 0
+		}
+		return []operand{
+			mk("A", a.A, units.Bytes(4*((a.M-1)*a.Lda+a.N)), 4, accRead, a.LoopStrideA),
+			mk("x", a.X, units.Bytes(4*a.N), 4, accRead, a.LoopStrideX),
+			mk("y", a.Y, units.Bytes(4*a.M), 4, yAcc, a.LoopStrideY),
+		}
+	case descriptor.OpSPMV:
+		a, err := accel.DecodeSpmvArgs(p)
+		if err != nil {
+			fail("%v", err)
+			return nil
+		}
+		if a.M <= 0 || a.Cols <= 0 {
+			fail("SPMV: non-positive matrix dimensions %dx%d", a.M, a.Cols)
+			return nil
+		}
+		if a.NNZ < 0 {
+			fail("SPMV: negative non-zero count %d", a.NNZ)
+			return nil
+		}
+		return []operand{
+			mk("rowPtr", a.RowPtr, units.Bytes(4*(a.M+1)), 4, accRead, noStrides),
+			mk("colIdx", a.ColIdx, units.Bytes(4*a.NNZ), 4, accRead, noStrides),
+			mk("values", a.Values, units.Bytes(4*a.NNZ), 4, accRead, noStrides),
+			mk("x", a.X, units.Bytes(4*a.Cols), 4, accRead, noStrides),
+			mk("y", a.Y, units.Bytes(4*a.M), 4, accWrite, noStrides),
+		}
+	case descriptor.OpRESMP:
+		a, err := accel.DecodeResmpArgs(p)
+		if err != nil {
+			fail("%v", err)
+			return nil
+		}
+		if a.Kind < 0 || a.Kind >= 2*accel.ResmpComplex {
+			fail("RESMP: invalid interpolation kind %d", a.Kind)
+			return nil
+		}
+		if a.NIn < 2 {
+			fail("RESMP: interpolation needs at least 2 input samples, got %d", a.NIn)
+			return nil
+		}
+		if a.NOut <= 0 {
+			fail("RESMP: non-positive output length %d", a.NOut)
+			return nil
+		}
+		elem := int64(4)
+		if a.Kind >= accel.ResmpComplex {
+			elem = 8
+		}
+		return []operand{
+			mk("src", a.Src, units.Bytes(elem*a.NIn), elem, accRead, a.LoopStrideSrc),
+			mk("dst", a.Dst, units.Bytes(elem*a.NOut), elem, accWrite, a.LoopStrideDst),
+		}
+	case descriptor.OpFFT:
+		a, err := accel.DecodeFFTArgs(p)
+		if err != nil {
+			fail("%v", err)
+			return nil
+		}
+		if a.N <= 0 || a.N&(a.N-1) != 0 {
+			fail("FFT: transform length %d is not a power of two", a.N)
+			return nil
+		}
+		if a.HowMany <= 0 {
+			fail("FFT: non-positive batch count %d", a.HowMany)
+			return nil
+		}
+		total := units.Bytes(8 * a.N * a.HowMany)
+		if a.Src == a.Dst {
+			return []operand{mk("data", a.Src, total, 8, accRead|accWrite, a.LoopStrideSrc)}
+		}
+		return []operand{
+			mk("src", a.Src, total, 8, accRead, a.LoopStrideSrc),
+			mk("dst", a.Dst, total, 8, accWrite, a.LoopStrideDst),
+		}
+	case descriptor.OpRESHP:
+		a, err := accel.DecodeReshpArgs(p)
+		if err != nil {
+			fail("%v", err)
+			return nil
+		}
+		if a.Rows <= 0 || a.Cols <= 0 {
+			fail("RESHP: non-positive matrix dimensions %dx%d", a.Rows, a.Cols)
+			return nil
+		}
+		if a.Elem != accel.ElemF32 && a.Elem != accel.ElemC64 {
+			fail("RESHP: invalid element kind %d", a.Elem)
+			return nil
+		}
+		elem := int64(4)
+		if a.Elem == accel.ElemC64 {
+			elem = 8
+		}
+		n := units.Bytes(elem * a.Rows * a.Cols)
+		if a.Src == a.Dst {
+			if a.Rows != a.Cols {
+				fail("RESHP: in-place transpose requires a square matrix, got %dx%d", a.Rows, a.Cols)
+				return nil
+			}
+			return []operand{mk("data", a.Src, n, elem, accRead|accWrite, noStrides)}
+		}
+		return []operand{
+			mk("src", a.Src, n, elem, accRead, noStrides),
+			mk("dst", a.Dst, n, elem, accWrite, noStrides),
+		}
+	default:
+		fail("unknown accelerator opcode %v", op)
+		return nil
+	}
+}
+
+// checkComp runs the per-invocation checks common to every kernel:
+// alignment and intra-invocation operand overlap.
+func checkComp(c *comp, e *errs) {
+	for _, o := range c.ops {
+		if o.align > 1 && int64(o.base.Addr)%o.align != 0 {
+			e.addf(c.line, c.idx, "%v: operand %s at %v is not %d-byte aligned", c.op, o.name, o.base.Addr, o.align)
+		}
+	}
+	// A written operand must not partially overlap any other operand:
+	// streaming engines read and write concurrently, so only exact aliasing
+	// (in-place operation on the identical span) is well-defined.
+	for i := 0; i < len(c.ops); i++ {
+		for j := i + 1; j < len(c.ops); j++ {
+			a, b := c.ops[i], c.ops[j]
+			if a.acc&accWrite == 0 && b.acc&accWrite == 0 {
+				continue
+			}
+			if a.base.Overlaps(b.base) && a.base != b.base {
+				e.addf(c.line, c.idx, "%v: operands %s %v and %s %v partially overlap", c.op, a.name, a.base, b.name, b.base)
+			}
+		}
+	}
+}
+
+// loopCountsOf right-aligns a TDL loop nest into the descriptor's fixed
+// LoopCounts form, the way descriptor.AddLoop does.
+func loopCountsOf(counts []int) descriptor.LoopCounts {
+	var lc descriptor.LoopCounts
+	for i := range lc {
+		lc[i] = 1
+	}
+	off := descriptor.MaxLoopLevels - len(counts)
+	for i, c := range counts {
+		if off+i >= 0 && c > 0 && c <= math.MaxUint32 {
+			lc[off+i] = uint32(c)
+		}
+	}
+	return lc
+}
+
+// options collects Verify adjustments.
+type options struct {
+	initialized []Span
+	checkInit   bool
+}
+
+// Option adjusts verification.
+type Option func(*options)
+
+// WithInitialized declares the buffer spans the host (or earlier descriptor
+// executions) initialized before launch, enabling the read-before-write
+// check: every operand read by the task graph must be covered by an
+// initialized span or by an earlier write of the same program.
+func WithInitialized(spans ...Span) Option {
+	return func(o *options) {
+		o.initialized = append(o.initialized, spans...)
+		o.checkInit = true
+	}
+}
+
+// VerifyProgram checks a parsed TDL program structurally, without parameter
+// bindings: non-empty, valid opcodes, loop trip counts positive and within
+// the descriptor's uint32 count fields, nest depth within the hardware
+// limit. This is the check available before parameters bind (tdlc,
+// mealibcc).
+func VerifyProgram(prog *tdl.Program) error {
+	var e errs
+	verifyStructure(prog, &e)
+	return e.err()
+}
+
+func verifyStructure(prog *tdl.Program, e *errs) {
+	if prog == nil || len(prog.Blocks) == 0 {
+		e.addf(0, -1, "empty program")
+		return
+	}
+	idx := 0
+	checkPass := func(p tdl.Pass) {
+		if len(p.Comps) == 0 {
+			e.addf(p.Line, -1, "PASS without COMP blocks")
+		}
+		for _, c := range p.Comps {
+			if !c.Op.Valid() {
+				e.addf(c.Line, idx, "invalid accelerator opcode %v", c.Op)
+			}
+			if c.ParamRef == "" {
+				e.addf(c.Line, idx, "%v: empty parameter reference", c.Op)
+			}
+			idx++
+		}
+	}
+	for _, blk := range prog.Blocks {
+		switch v := blk.(type) {
+		case tdl.Pass:
+			checkPass(v)
+		case tdl.Loop:
+			if len(v.Counts) == 0 {
+				e.addf(v.Line, -1, "LOOP without iteration counts")
+			}
+			if len(v.Counts) > descriptor.MaxLoopLevels {
+				e.addf(v.Line, -1, "loop nest deeper than %d levels", descriptor.MaxLoopLevels)
+			}
+			for lvl, c := range v.Counts {
+				if c <= 0 {
+					e.addf(v.Line, -1, "zero-trip loop: level %d has count %d", lvl, c)
+				} else if c > math.MaxUint32 {
+					e.addf(v.Line, -1, "loop count %d at level %d exceeds the descriptor's 32-bit count field", c, lvl)
+				}
+			}
+			if len(v.Passes) == 0 {
+				e.addf(v.Line, -1, "LOOP without PASS blocks")
+			}
+			for _, p := range v.Passes {
+				checkPass(p)
+			}
+		default:
+			e.addf(0, -1, "unknown block type %T", blk)
+		}
+	}
+}
+
+// Verify checks a TDL program with its parameter bindings: everything
+// VerifyProgram checks, plus parameter-reference resolution, per-kernel
+// operand semantics (sizes, alignment, overlap, power-of-two FFT lengths,
+// square in-place transposes), and the dataflow of the task graph (no
+// write-after-read cycle inside a chained pass; with WithInitialized, no
+// read of an uninitialized buffer).
+func Verify(prog *tdl.Program, resolve tdl.ParamResolver, opts ...Option) error {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var e errs
+	verifyStructure(prog, &e)
+	if len(e.list) > 0 {
+		return e.err() // structure is broken; operand checks would mislead
+	}
+	if resolve == nil {
+		e.addf(0, -1, "nil parameter resolver")
+		return e.err()
+	}
+	var comps []*comp
+	idx, passNo := 0, 0
+	addPass := func(p tdl.Pass, counts descriptor.LoopCounts) {
+		for _, c := range p.Comps {
+			cm := &comp{line: c.Line, idx: idx, pass: passNo, op: c.Op}
+			params, err := resolve(c.ParamRef)
+			if err != nil {
+				e.addf(c.Line, idx, "dangling parameter reference %q: %v", c.ParamRef, err)
+			} else {
+				cm.ops = operandsOf(c.Op, params, counts, func(format string, args ...interface{}) {
+					e.addf(c.Line, idx, format, args...)
+				})
+			}
+			comps = append(comps, cm)
+			idx++
+		}
+		passNo++
+	}
+	ones := loopCountsOf(nil)
+	for _, blk := range prog.Blocks {
+		switch v := blk.(type) {
+		case tdl.Pass:
+			addPass(v, ones)
+		case tdl.Loop:
+			lc := loopCountsOf(v.Counts)
+			for _, p := range v.Passes {
+				addPass(p, lc)
+			}
+		}
+	}
+	checkComps(comps, &o, &e)
+	return e.err()
+}
+
+// VerifyDescriptor performs the operand and dataflow checks on a lowered
+// descriptor. Positions are invocation indices (the TDL line information is
+// gone after lowering).
+func VerifyDescriptor(d *descriptor.Descriptor, opts ...Option) error {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var e errs
+	if d == nil {
+		e.addf(0, -1, "nil descriptor")
+		return e.err()
+	}
+	if err := d.Validate(); err != nil {
+		e.addf(0, -1, "%v", err)
+		return e.err()
+	}
+	comps, err := descriptorComps(d)
+	if err != nil {
+		e.addf(0, -1, "%v", err)
+		return e.err()
+	}
+	for _, c := range comps {
+		params, perr := d.ParamsOf(c.idx)
+		if perr != nil {
+			e.addf(0, c.idx, "%v", perr)
+			continue
+		}
+		c.ops = operandsOf(c.op, params, c.counts, func(format string, args ...interface{}) {
+			e.addf(0, c.idx, format, args...)
+		})
+	}
+	plain := make([]*comp, len(comps))
+	for i, c := range comps {
+		plain[i] = &c.comp
+	}
+	checkComps(plain, &o, &e)
+	return e.err()
+}
+
+// descComp pairs a comp with its enclosing loop counts.
+type descComp struct {
+	comp
+	counts descriptor.LoopCounts
+}
+
+// descriptorComps reconstructs the pass/loop structure of a validated
+// descriptor's instruction stream.
+func descriptorComps(d *descriptor.Descriptor) ([]*descComp, error) {
+	var comps []*descComp
+	ones := loopCountsOf(nil)
+	counts := ones
+	passNo, idx := 0, 0
+	for _, in := range d.Instrs {
+		switch in.Kind {
+		case descriptor.KindComp:
+			comps = append(comps, &descComp{
+				comp:   comp{idx: idx, pass: passNo, op: in.Op},
+				counts: counts,
+			})
+			idx++
+		case descriptor.KindEndPass:
+			passNo++
+		case descriptor.KindLoop:
+			counts = in.Counts
+			for l := range counts {
+				if counts[l] == 0 {
+					counts[l] = 1
+				}
+			}
+		case descriptor.KindEndLoop:
+			counts = ones
+		}
+	}
+	return comps, nil
+}
+
+// checkComps runs the per-invocation and cross-invocation (task graph)
+// checks over the program's invocations in execution order.
+func checkComps(comps []*comp, o *options, e *errs) {
+	for _, c := range comps {
+		checkComp(c, e)
+	}
+	// Write-after-read inside a chained pass: the comps of a pass stream
+	// concurrently (producer feeds consumer through tile-local memory), so a
+	// later comp writing a span an earlier comp reads is a cycle in the
+	// task graph — the datapath cannot be scheduled.
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			a, b := comps[i], comps[j]
+			if a.pass != b.pass {
+				continue
+			}
+			for _, ra := range a.ops {
+				if ra.acc&accRead == 0 {
+					continue
+				}
+				for _, wb := range b.ops {
+					if wb.acc&accWrite == 0 {
+						continue
+					}
+					if ra.base.Overlaps(wb.base) {
+						e.addf(b.line, b.idx, "chained pass: %v writes %s %v which %v (comp %d) reads — cycle in the task graph", b.op, wb.name, wb.base, a.op, a.idx)
+					}
+				}
+			}
+		}
+	}
+	// Read-before-write: with the initialized span set known, every read
+	// must be covered by host-initialized data or by an earlier write of
+	// this program. Extended (whole-loop) spans are used for writes and
+	// any-overlap semantics for reads, so the check under-approximates and
+	// never rejects a program whose reads might be satisfied.
+	if !o.checkInit {
+		return
+	}
+	init := append([]Span(nil), o.initialized...)
+	for _, c := range comps {
+		for _, op := range c.ops {
+			if op.acc&accRead == 0 {
+				continue
+			}
+			covered := false
+			for _, s := range init {
+				if s.Overlaps(op.ext) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				e.addf(c.line, c.idx, "%v reads %s %v before any write reaches it (uninitialized buffer)", c.op, op.name, op.base)
+			}
+		}
+		for _, op := range c.ops {
+			if op.acc&accWrite != 0 {
+				init = append(init, op.ext)
+			}
+		}
+	}
+}
+
+// Writes returns the buffer spans a descriptor's task graph writes,
+// extended over its hardware loops — what becomes initialized once the
+// descriptor executes. The descriptor must be valid.
+func Writes(d *descriptor.Descriptor) ([]Span, error) {
+	if d == nil {
+		return nil, fmt.Errorf("tdlcheck: nil descriptor")
+	}
+	comps, err := descriptorComps(d)
+	if err != nil {
+		return nil, err
+	}
+	var out []Span
+	for _, c := range comps {
+		params, perr := d.ParamsOf(c.idx)
+		if perr != nil {
+			return nil, perr
+		}
+		ops := operandsOf(c.op, params, c.counts, func(string, ...interface{}) {})
+		for _, op := range ops {
+			if op.acc&accWrite != 0 {
+				out = append(out, op.ext)
+			}
+		}
+	}
+	return out, nil
+}

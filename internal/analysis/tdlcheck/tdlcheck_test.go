@@ -1,0 +1,271 @@
+package tdlcheck
+
+import (
+	"strings"
+	"testing"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+	"mealib/internal/tdl"
+)
+
+// base addresses of disjoint 64 KiB test buffers.
+const (
+	bufA = phys.Addr(0x1000)
+	bufB = phys.Addr(0x11000)
+	bufC = phys.Addr(0x21000)
+	bufD = phys.Addr(0x31000)
+)
+
+func axpy(x, y phys.Addr, n int64) descriptor.Params {
+	return accel.AxpyArgs{N: n, Alpha: 2, X: x, Y: y, IncX: 1, IncY: 1}.Params()
+}
+
+func fft(src, dst phys.Addr, n int64) descriptor.Params {
+	return accel.FFTArgs{N: n, HowMany: 1, Src: src, Dst: dst}.Params()
+}
+
+func resmp(src, dst phys.Addr, nIn, nOut int64) descriptor.Params {
+	return accel.ResmpArgs{NIn: nIn, NOut: nOut, Kind: 0, Src: src, Dst: dst}.Params()
+}
+
+// mustParse parses a TDL source that is known to be syntactically valid.
+func mustParse(t *testing.T, src string) *tdl.Program {
+	t.Helper()
+	prog, err := tdl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+// wantReject verifies the program is rejected with a message containing
+// every fragment, and that the error carries a position (a "line N" marker).
+func wantReject(t *testing.T, err error, fragments ...string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("verification unexpectedly passed (want error mentioning %q)", fragments)
+	}
+	msg := err.Error()
+	for _, f := range fragments {
+		if !strings.Contains(msg, f) {
+			t.Errorf("error %q does not mention %q", msg, f)
+		}
+	}
+	if !strings.Contains(msg, "line ") && !strings.Contains(msg, "comp ") {
+		t.Errorf("error %q carries no position", msg)
+	}
+}
+
+func TestVerifyAcceptsValidProgram(t *testing.T) {
+	prog := mustParse(t, `
+PASS { COMP FFT PARAMS "fft" }
+LOOP 4 { PASS { COMP AXPY PARAMS "axpy" } }
+`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"fft":  fft(bufA, bufB, 1024),
+		"axpy": axpy(bufC, bufD, 256),
+	})
+	if err := Verify(prog, resolve); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestRejectDanglingParamRef(t *testing.T) {
+	prog := mustParse(t, `PASS { COMP FFT PARAMS "nosuch" }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "dangling parameter reference", `"nosuch"`, "line 1")
+}
+
+func TestRejectZeroTripLoop(t *testing.T) {
+	// The parser rejects LOOP 0 at the syntax level; a programmatically
+	// built program can still carry one, which is what the verifier guards.
+	prog := &tdl.Program{Blocks: []tdl.Block{
+		tdl.Loop{Counts: []int{0}, Line: 3, Passes: []tdl.Pass{
+			{Comps: []tdl.Comp{{Op: descriptor.OpFFT, ParamRef: "f", Line: 3}}, Line: 3},
+		}},
+	}}
+	err := VerifyProgram(prog)
+	wantReject(t, err, "zero-trip loop", "line 3")
+}
+
+func TestRejectLoopCountBeyondFieldWidth(t *testing.T) {
+	prog := mustParse(t, `LOOP 99999999999 { PASS { COMP FFT PARAMS "f" } }`)
+	err := VerifyProgram(prog)
+	wantReject(t, err, "exceeds the descriptor's 32-bit count field", "line 1")
+}
+
+func TestRejectOverlappingSpans(t *testing.T) {
+	// Out-of-place FFT whose destination partially overlaps its source.
+	prog := mustParse(t, "PASS { COMP FFT PARAMS \"f\" }\n")
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"f": fft(bufA, bufA+512, 512), // src [A, A+4096), dst [A+512, ...)
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "partially overlap", "line 1")
+}
+
+func TestRejectSizeMismatch(t *testing.T) {
+	// GEMV whose leading dimension is smaller than the row length: the
+	// operand sizes are mutually inconsistent.
+	prog := mustParse(t, `PASS { COMP GEMV PARAMS "g" }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"g": accel.GemvArgs{M: 8, N: 16, Lda: 4, Alpha: 1, A: bufA, X: bufB, Y: bufC}.Params(),
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "size mismatch", "leading dimension", "line 1")
+}
+
+func TestRejectWrongParamFieldCount(t *testing.T) {
+	prog := mustParse(t, `PASS { COMP AXPY PARAMS "a" }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"a": {1, 2, 3}, // AXPY expects 6 + 2*MaxLoopLevels fields
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "parameter fields", "line 1")
+}
+
+func TestRejectNonPowerOfTwoFFT(t *testing.T) {
+	prog := mustParse(t, "# sar range compression\nPASS { COMP FFT PARAMS \"f\" }")
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"f": fft(bufA, bufB, 1000),
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "not a power of two", "line 2")
+}
+
+func TestRejectUninitializedRead(t *testing.T) {
+	// comp 0 resamples out of B, but B is only written by comp 1 (in a
+	// later pass): a read of an uninitialized shared buffer.
+	prog := mustParse(t, `
+PASS { COMP RESMP PARAMS "r" }
+PASS { COMP FFT PARAMS "f" }
+`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"r": resmp(bufB, bufC, 128, 64),
+		"f": fft(bufA, bufB, 128),
+	})
+	// Host initialized only A.
+	err := Verify(prog, resolve, WithInitialized(Span{Addr: bufA, Bytes: 64 * 1024}))
+	wantReject(t, err, "uninitialized buffer", "line 2")
+	// Same graph with the passes in producer order is clean.
+	good := mustParse(t, `
+PASS { COMP FFT PARAMS "f" }
+PASS { COMP RESMP PARAMS "r" }
+`)
+	if err := Verify(good, resolve, WithInitialized(Span{Addr: bufA, Bytes: 64 * 1024})); err != nil {
+		t.Fatalf("producer-ordered graph rejected: %v", err)
+	}
+}
+
+func TestRejectChainedPassCycle(t *testing.T) {
+	// Within one chained pass, comp 1 writes the buffer comp 0 reads: the
+	// datapath has a write-after-read cycle and cannot be scheduled.
+	prog := mustParse(t, `PASS { COMP AXPY PARAMS "p" COMP AXPY PARAMS "q" }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"p": axpy(bufA, bufB, 64), // reads A, writes B
+		"q": axpy(bufC, bufA, 64), // writes A -> back edge to comp 0
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "cycle in the task graph", "line 1")
+}
+
+func TestRejectMisalignedOperand(t *testing.T) {
+	prog := mustParse(t, `PASS { COMP FFT PARAMS "f" }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"f": fft(bufA+2, bufB, 64), // complex64 data needs 8-byte alignment
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "aligned", "line 1")
+}
+
+func TestRejectInPlaceNonSquareReshape(t *testing.T) {
+	prog := mustParse(t, `PASS { COMP RESHP PARAMS "t" }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"t": accel.ReshpArgs{Rows: 8, Cols: 16, Elem: accel.ElemF32, Src: bufA, Dst: bufA}.Params(),
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "square", "line 1")
+}
+
+func TestVerifyDescriptorLevel(t *testing.T) {
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpFFT, fft(bufA, bufB, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	err := VerifyDescriptor(d)
+	wantReject(t, err, "not a power of two", "comp 0")
+
+	good := &descriptor.Descriptor{}
+	if err := good.AddComp(descriptor.OpFFT, fft(bufA, bufB, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	good.AddEndPass()
+	if err := VerifyDescriptor(good); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+	if err := VerifyDescriptor(nil); err == nil {
+		t.Fatal("nil descriptor accepted")
+	}
+}
+
+func TestErrorListCollectsMultiple(t *testing.T) {
+	prog := mustParse(t, `
+PASS { COMP FFT PARAMS "bad1" }
+PASS { COMP GEMV PARAMS "bad2" }
+`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"bad1": fft(bufA, bufB, 1000),
+		"bad2": accel.GemvArgs{M: 8, N: 16, Lda: 4, Alpha: 1, A: bufA, X: bufB, Y: bufC}.Params(),
+	})
+	err := Verify(prog, resolve)
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("want ErrorList, got %T: %v", err, err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("want 2 errors, got %d: %v", len(list), list)
+	}
+	if list[0].Line != 2 || list[1].Line != 3 {
+		t.Errorf("positions = %d,%d; want 2,3", list[0].Line, list[1].Line)
+	}
+}
+
+func TestWritesExtendOverLoops(t *testing.T) {
+	// An FFT batched over a 4-iteration loop with a per-iteration stride
+	// initializes the whole strided extent.
+	d := &descriptor.Descriptor{}
+	if err := d.AddLoop(4); err != nil {
+		t.Fatal(err)
+	}
+	args := accel.FFTArgs{N: 64, HowMany: 1, Src: bufA, Dst: bufB,
+		LoopStrideSrc: accel.Lin(512), LoopStrideDst: accel.Lin(512)}
+	if err := d.AddComp(descriptor.OpFFT, args.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	d.AddEndLoop()
+	spans, err := Writes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("want 1 write span, got %d", len(spans))
+	}
+	// base 64*8 = 512 bytes, extended by 3 more strides of 512.
+	if spans[0].Addr != bufB || spans[0].Bytes != 4*512 {
+		t.Errorf("write span = %v, want [%v,+2048)", spans[0], bufB)
+	}
+}
+
+func TestVerifyProgramEmptyAndNil(t *testing.T) {
+	if err := VerifyProgram(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	if err := VerifyProgram(&tdl.Program{}); err == nil {
+		t.Error("empty program accepted")
+	}
+}

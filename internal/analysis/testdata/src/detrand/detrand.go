@@ -1,0 +1,29 @@
+// Package detrand is analyzer test data: wall-clock time and unseeded
+// randomness in a deterministic simulator package.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	return rand.Float64() // want `global math/rand source \(rand.Float64\)`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global math/rand source \(rand.Shuffle\)`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic simulator package`
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // seeded source: fine
+	return r.Float64()
+}
+
+func elapsed(d time.Duration) time.Duration { return d } // time types are fine

@@ -1,0 +1,28 @@
+// Package errcheck is analyzer test data: module-internal calls whose
+// error results are discarded.
+package errcheck
+
+import "fmt"
+
+func launch() error { return fmt.Errorf("boom") }
+
+func status() (int, error) { return 0, nil }
+
+func fire() {}
+
+func bad() {
+	launch() // want `result of .*launch is discarded but it returns an error`
+	status() // want `result of .*status is discarded but it returns an error`
+}
+
+func good() error {
+	fire()                // no error result: fine
+	fmt.Println("status") // stdlib: not flagged
+	_ = launch()          // explicit opt-out: fine
+	if err := launch(); err != nil {
+		return err
+	}
+	n, err := status()
+	_ = n
+	return err
+}

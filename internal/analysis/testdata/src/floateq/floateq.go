@@ -1,0 +1,38 @@
+// Package floateq is analyzer test data: exact comparison of
+// floating-point model outputs (module-defined named float types).
+package floateq
+
+import "mealib/internal/units"
+
+type gain float64 // a local model dimension
+
+func model() units.Joules { return 0.5 }
+
+func boost() gain { return 2 }
+
+func bad() bool {
+	e := model()
+	if e == 0.25 { // want `== on units.Joules model output`
+		return true
+	}
+	if float64(e) != 0.5 { // want `!= on units.Joules model output`
+		return true // the conversion does not launder the dimension
+	}
+	return boost() != 2 // want `!= on floateq.gain model output`
+}
+
+func good() bool {
+	e := model()
+	if e == 0 { // zero sentinel: exact by IEEE-754
+		return false
+	}
+	if e != e { // NaN test idiom
+		return false
+	}
+	raw := 0.5 * 0.5
+	if raw == 0.25 { // bare float64: reference math, not a model output
+		return false
+	}
+	d := float64(e) - 0.25
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,47 @@
+// Package locksafe is analyzer test data: mutex-guarded fields accessed
+// without holding the lock.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	limit int // declared before the mutex: unguarded
+	mu    sync.Mutex
+	n     int
+	last  string
+}
+
+func (c *counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.last = "add"
+}
+
+func (c *counter) Peek() int {
+	return c.n // want `field n of counter is guarded by mu but Peek does not hold the lock`
+}
+
+func (c *counter) Reset() {
+	c.n = 0     // want `field n of counter is guarded by mu but Reset does not hold the lock`
+	c.last = "" // want `field last of counter is guarded by mu but Reset does not hold the lock`
+}
+
+func (c *counter) Limit() int { return c.limit } // unguarded field: fine
+
+func (c *counter) peekLocked() int { return c.n } // caller holds the lock by contract
+
+type embedded struct {
+	sync.RWMutex
+	hits int
+}
+
+func (e *embedded) Hit() {
+	e.Lock()
+	defer e.Unlock()
+	e.hits++
+}
+
+func (e *embedded) Hits() int {
+	return e.hits // want `field hits of embedded is guarded by RWMutex but Hits does not hold the lock`
+}

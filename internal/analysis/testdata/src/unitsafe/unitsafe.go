@@ -1,0 +1,28 @@
+// Package unitsafe is analyzer test data: unit-named declarations typed
+// as bare numerics.
+package unitsafe
+
+import "mealib/internal/units"
+
+type config struct {
+	BufBytes int64       // want `struct field BufBytes has bare type int64; use units.Bytes`
+	Latency  float64     // want `struct field Latency has bare type float64; use units.Seconds`
+	Cap      units.Bytes // properly typed: fine
+	name     string      // not a quantity: fine
+	count    int         // no unit suffix: fine
+}
+
+var DefaultPower float64 = 2.5 // want `package variable DefaultPower has bare type float64; use units.Watts`
+
+func budget(
+	totalBytes int64, // want `parameter totalBytes has bare type int64; use units.Bytes`
+	n int,
+) (
+	energy float64, // want `parameter energy has bare type float64; use units.Joules`
+) {
+	return float64(totalBytes) * float64(n)
+}
+
+func typedBudget(total units.Bytes, n int) units.Joules {
+	return units.Joules(float64(total) * float64(n))
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// unitsafe flags declarations whose names promise a physical quantity —
+// bytes, seconds, joules, watts, bytes/second — but whose types are bare
+// numerics. internal/units defines named types for exactly these
+// dimensions so the compiler can reject joules-plus-seconds arithmetic;
+// a struct field `Latency float64` opts back out of that protection.
+//
+// Only API surface is scanned — struct fields, function parameters and
+// results, and package-level variables. Locals and loop counters are left
+// alone, as are untyped constants (they adapt to the context they land
+// in) and internal/units itself.
+type unitsafe struct{}
+
+func (unitsafe) Name() string { return "unitsafe" }
+
+func (unitsafe) Doc() string {
+	return "unit-named declarations typed as bare numerics instead of internal/units types"
+}
+
+// unitHints maps name suffixes to the internal/units type that should
+// carry them. Order matters only for documentation; suffixes do not
+// shadow each other ("...BytesPerSec" does not end in "Bytes").
+var unitHints = []struct{ suffix, unit string }{
+	{"BytesPerSec", "units.BytesPerSec"},
+	{"Bandwidth", "units.BytesPerSec"},
+	{"BW", "units.BytesPerSec"},
+	{"Bytes", "units.Bytes"},
+	{"Seconds", "units.Seconds"},
+	{"Latency", "units.Seconds"},
+	{"Joules", "units.Joules"},
+	{"Energy", "units.Joules"},
+	{"Watts", "units.Watts"},
+	{"Power", "units.Watts"},
+}
+
+// unitFor returns the suggested units type for a name, or "".
+func unitFor(name string) string {
+	for _, h := range unitHints {
+		if name == h.suffix || name == lowerFirst(h.suffix) || strings.HasSuffix(name, h.suffix) {
+			return h.unit
+		}
+	}
+	return ""
+}
+
+func lowerFirst(s string) string {
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+func (unitsafe) Run(p *Pkg) []Diagnostic {
+	if strings.HasSuffix(strings.TrimSuffix(p.Path, ".test"), "/units") {
+		return nil // the units package defines the dimensions themselves
+	}
+	var out []Diagnostic
+	flag := func(kind string, id *ast.Ident) []Diagnostic {
+		unit := unitFor(id.Name)
+		if unit == "" {
+			return nil
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil || !isBareNumeric(obj.Type()) {
+			return nil
+		}
+		return []Diagnostic{{
+			Pos:      p.Position(id.Pos()),
+			Analyzer: "unitsafe",
+			Message:  fmt.Sprintf("%s %s has bare type %s; use %s", kind, id.Name, obj.Type(), unit),
+		}}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					for _, id := range fld.Names {
+						out = append(out, flag("struct field", id)...)
+					}
+				}
+			case *ast.FuncDecl:
+				for _, fl := range []*ast.FieldList{n.Type.Params, n.Type.Results} {
+					if fl == nil {
+						continue
+					}
+					for _, fld := range fl.List {
+						for _, id := range fld.Names {
+							out = append(out, flag("parameter", id)...)
+						}
+					}
+				}
+			case *ast.GenDecl:
+				// Package-level vars only; consts are usually untyped and
+				// locals are out of scope.
+				if n.Tok.String() != "var" {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, id := range vs.Names {
+						if obj := p.Info.Defs[id]; obj != nil && obj.Parent() == p.Types.Scope() {
+							out = append(out, flag("package variable", id)...)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isBareNumeric reports whether t is an unnamed basic numeric type
+// (typed, so untyped constants pass).
+func isBareNumeric(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0 && b.Info()&types.IsUntyped == 0
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeOf resolves the function or method a call statically invokes, or
+// nil for conversions, builtins, and calls through function values.
+func calleeOf(p *Pkg, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// modulePath returns the module prefix of the package's import path
+// (the first path segment: "mealib" for "mealib/internal/accel").
+func (p *Pkg) modulePath() string {
+	path := strings.TrimSuffix(p.Path, ".test")
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// inModule reports whether an import path belongs to the same module as p.
+func (p *Pkg) inModule(path string) bool {
+	mod := p.modulePath()
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()

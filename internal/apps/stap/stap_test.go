@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mealib/internal/cpu"
+	"mealib/internal/units"
 )
 
 func TestParamsDerived(t *testing.T) {
@@ -131,7 +132,7 @@ func TestHaswellRunAccumulates(t *testing.T) {
 		}
 		sum += float64(s.Time)
 	}
-	if float64(h.Time) != sum {
+	if !units.CloseTo(float64(h.Time), sum) {
 		t.Error("total time must sum stage times")
 	}
 	if h.InvocationTime != 0 {

@@ -28,7 +28,7 @@ func TestHaswellShape(t *testing.T) {
 func TestFlushCostBase(t *testing.T) {
 	h := Haswell()
 	t0, e0 := h.FlushCost(0)
-	if t0 != h.FlushBase {
+	if !units.CloseTo(float64(t0), float64(h.FlushBase)) {
 		t.Errorf("zero dirty data: time %v, want base %v", t0, h.FlushBase)
 	}
 	if e0 != 0 {
@@ -40,7 +40,7 @@ func TestFlushCostCappedAtLLC(t *testing.T) {
 	h := Haswell()
 	tLLC, eLLC := h.FlushCost(h.LLC())
 	tBig, eBig := h.FlushCost(100 * units.GiB)
-	if tBig != tLLC || eBig != eLLC {
+	if !units.CloseTo(float64(tBig), float64(tLLC)) || !units.CloseTo(float64(eBig), float64(eLLC)) {
 		t.Error("dirty data beyond LLC capacity must not increase flush cost")
 	}
 }
@@ -49,7 +49,7 @@ func TestFlushCostNegativeClamped(t *testing.T) {
 	h := Haswell()
 	tn, en := h.FlushCost(-units.MiB)
 	t0, e0 := h.FlushCost(0)
-	if tn != t0 || en != e0 {
+	if !units.CloseTo(float64(tn), float64(t0)) || !units.CloseTo(float64(en), float64(e0)) {
 		t.Error("negative dirty size must clamp to zero")
 	}
 }

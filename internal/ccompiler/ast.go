@@ -133,6 +133,9 @@ func (p *cparser) parseFor() (*ForNode, error) {
 		if t.Kind == TokEOF {
 			return nil, fmt.Errorf("ccompiler: line %d: unterminated for header", kw.Line)
 		}
+		if t.Kind == TokPragma {
+			return nil, fmt.Errorf("ccompiler: line %d: preprocessor directive inside a for header", t.Line)
+		}
 		if t.Kind == TokPunct {
 			switch t.Text {
 			case "(", "[":
@@ -198,6 +201,11 @@ func (p *cparser) parseSimpleOrBraced() (Node, error) {
 			}
 			return nil, fmt.Errorf("ccompiler: line %d: statement missing ';'", toks[0].Line)
 		}
+		if t.Kind == TokPragma {
+			// A directive spans to end of line; embedded in a statement it
+			// could not be re-emitted faithfully.
+			return nil, fmt.Errorf("ccompiler: line %d: preprocessor directive in the middle of a statement", t.Line)
+		}
 		if t.Kind == TokPunct {
 			switch t.Text {
 			case "(", "[":
@@ -228,6 +236,9 @@ func (p *cparser) parseSimpleOrBraced() (Node, error) {
 						bt := p.next()
 						if bt.Kind == TokEOF {
 							return nil, fmt.Errorf("ccompiler: line %d: unterminated initializer", t.Line)
+						}
+						if bt.Kind == TokPragma {
+							return nil, fmt.Errorf("ccompiler: line %d: preprocessor directive inside an initializer", bt.Line)
 						}
 						toks = append(toks, bt)
 						if bt.Kind == TokPunct && bt.Text == "{" {

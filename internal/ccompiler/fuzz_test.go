@@ -3,10 +3,16 @@ package ccompiler
 import (
 	"os"
 	"testing"
+
+	"mealib/internal/analysis/tdlcheck"
+	"mealib/internal/tdl"
 )
 
 // FuzzCompile hardens the C front end: arbitrary input must never panic;
-// anything that compiles must emit source that still lexes and parses.
+// anything that compiles must emit source that still lexes and parses,
+// and every TDL program the compiler generates must parse and pass the
+// structural half of the static verifier — the compiler must never hand
+// the runtime a malformed program.
 func FuzzCompile(f *testing.F) {
 	stap, err := os.ReadFile("testdata/stap.c")
 	if err != nil {
@@ -48,6 +54,15 @@ func FuzzCompile(f *testing.F) {
 		}
 		if _, err := ParseC(toks); err != nil {
 			t.Fatalf("transformed source does not parse: %v", err)
+		}
+		for _, plan := range res.Plans {
+			prog, err := tdl.Parse(plan.TDL)
+			if err != nil {
+				t.Fatalf("generated TDL for %s does not parse: %v\n%s", plan.Name, err, plan.TDL)
+			}
+			if err := tdlcheck.VerifyProgram(prog); err != nil {
+				t.Fatalf("generated TDL for %s rejected by the verifier: %v\n%s", plan.Name, err, plan.TDL)
+			}
 		}
 	})
 }

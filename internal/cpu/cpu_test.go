@@ -39,7 +39,7 @@ func TestRunComputeBound(t *testing.T) {
 	if math.Abs(float64(r.Time)-want)/want > 1e-9 {
 		t.Errorf("compute-bound time %v, want %v", r.Time, units.Seconds(want))
 	}
-	if r.Energy != h.ActivePower.Energy(r.Time) {
+	if !units.CloseTo(float64(r.Energy), float64(h.ActivePower.Energy(r.Time))) {
 		t.Error("energy must be active power x time")
 	}
 }
@@ -57,10 +57,10 @@ func TestRunMemoryBound(t *testing.T) {
 func TestWaitUsesIdlePower(t *testing.T) {
 	h := Haswell()
 	r := h.Wait(2)
-	if r.Time != 2 {
+	if !units.CloseTo(float64(r.Time), 2) {
 		t.Errorf("wait time %v", r.Time)
 	}
-	if r.Energy != h.IdlePower.Energy(2) {
+	if !units.CloseTo(float64(r.Energy), float64(h.IdlePower.Energy(2))) {
 		t.Errorf("wait energy %v", r.Energy)
 	}
 	if h.IdlePower >= h.ActivePower {

@@ -105,7 +105,7 @@ func TestEnergyAccounting(t *testing.T) {
 	if st.DynamicEnergy <= 0 || st.BackgroundEnergy <= 0 {
 		t.Fatalf("energies must be positive: %v / %v", st.DynamicEnergy, st.BackgroundEnergy)
 	}
-	if st.Energy() != st.DynamicEnergy+st.BackgroundEnergy {
+	if !units.CloseTo(float64(st.Energy()), float64(st.DynamicEnergy+st.BackgroundEnergy)) {
 		t.Error("Energy() must sum components")
 	}
 	if st.BytesWritten != 256*units.KiB || st.BytesRead != 0 {

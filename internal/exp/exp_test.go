@@ -198,6 +198,9 @@ func TestFigure14Shares(t *testing.T) {
 }
 
 func TestFigure1Measured(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation slows code unevenly; measured speedups are meaningless")
+	}
 	rows, err := Figure1(1)
 	if err != nil {
 		t.Fatal(err)

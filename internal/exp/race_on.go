@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation slows code unevenly and invalidates wall-clock
+// performance comparisons.
+const raceEnabled = true

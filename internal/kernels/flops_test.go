@@ -7,31 +7,31 @@ import (
 )
 
 func TestFlopCounts(t *testing.T) {
-	if SaxpyFlops(100) != 200 {
+	if !units.CloseTo(float64(SaxpyFlops(100)), 200) {
 		t.Error("saxpy flops")
 	}
-	if SdotFlops(100) != 200 {
+	if !units.CloseTo(float64(SdotFlops(100)), 200) {
 		t.Error("sdot flops")
 	}
-	if SgemvFlops(10, 20) != 400 {
+	if !units.CloseTo(float64(SgemvFlops(10, 20)), 400) {
 		t.Error("sgemv flops")
 	}
-	if SpmvFlops(50) != 100 {
+	if !units.CloseTo(float64(SpmvFlops(50)), 100) {
 		t.Error("spmv flops")
 	}
 	if FFTFlops(1) != 0 {
 		t.Error("fft flops for n=1 must be 0")
 	}
-	if got := FFTFlops(1024); got != units.Flops(5*1024*10) {
+	if got := FFTFlops(1024); !units.CloseTo(float64(got), 5*1024*10) {
 		t.Errorf("fft flops for 1024 = %v, want 51200", got)
 	}
-	if CdotcFlops(10) != 80 {
+	if !units.CloseTo(float64(CdotcFlops(10)), 80) {
 		t.Error("cdotc flops")
 	}
-	if CherkFlops(10, 5) != 2000 {
+	if !units.CloseTo(float64(CherkFlops(10, 5)), 2000) {
 		t.Error("cherk flops")
 	}
-	if CtrsmFlops(10, 5) != 2000 {
+	if !units.CloseTo(float64(CtrsmFlops(10, 5)), 2000) {
 		t.Error("ctrsm flops")
 	}
 }

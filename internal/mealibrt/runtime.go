@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"mealib/internal/accel"
+	"mealib/internal/analysis/tdlcheck"
 	"mealib/internal/cpu"
 	"mealib/internal/descriptor"
 	"mealib/internal/phys"
@@ -37,6 +38,10 @@ type Config struct {
 	// descriptor and ringing the doorbell (user/kernel crossing plus
 	// uncached CR write).
 	DescriptorSetupLatency units.Seconds
+	// NoVerify disables the static descriptor verifier (tdlcheck) that
+	// otherwise rejects malformed task graphs at plan and launch time —
+	// the library-level equivalent of tdlc's -nocheck escape hatch.
+	NoVerify bool
 }
 
 // DefaultConfig returns the paper's system: a Haswell host in front of one
@@ -68,7 +73,11 @@ type Runtime struct {
 	link accel.LinkController
 	// dirty approximates the modified cache contents since the last flush.
 	dirty units.Bytes
-	stats Stats
+	// initialized tracks which data-space spans the host (or a completed
+	// descriptor execution) has written, feeding the verifier's
+	// read-before-write check at launch time.
+	initialized []tdlcheck.Span
+	stats       Stats
 }
 
 // Stats aggregates invocation accounting across the runtime's lifetime
@@ -183,15 +192,44 @@ func (r *Runtime) MemFree(b *Buffer) error {
 	return r.driver.Free(b.va)
 }
 
-// touch records host writes for the coherence model.
-func (b *Buffer) touch(n units.Bytes) { b.rt.dirty += n }
+// touch records a host write at byte offset off for the coherence model and
+// for the verifier's initialized-span tracking.
+func (b *Buffer) touch(off, n units.Bytes) {
+	b.rt.dirty += n
+	b.rt.markInitialized(tdlcheck.Span{Addr: b.pa + phys.Addr(off), Bytes: n})
+}
+
+// markInitialized records a span as holding live data. Adjacent and
+// overlapping spans are coalesced with the most recent entry so repeated
+// streaming stores do not grow the set unboundedly.
+func (r *Runtime) markInitialized(s tdlcheck.Span) {
+	if s.Bytes <= 0 {
+		return
+	}
+	if n := len(r.initialized); n > 0 {
+		last := &r.initialized[n-1]
+		lastEnd := last.Addr + phys.Addr(last.Bytes)
+		sEnd := s.Addr + phys.Addr(s.Bytes)
+		if s.Addr <= lastEnd && last.Addr <= sEnd { // overlap or adjacency
+			if s.Addr < last.Addr {
+				last.Bytes += units.Bytes(last.Addr - s.Addr)
+				last.Addr = s.Addr
+			}
+			if sEnd > lastEnd {
+				last.Bytes += units.Bytes(sEnd - lastEnd)
+			}
+			return
+		}
+	}
+	r.initialized = append(r.initialized, s)
+}
 
 // StoreFloat32s writes v at byte offset off through the host mapping.
 func (b *Buffer) StoreFloat32s(off units.Bytes, v []float32) error {
 	if err := b.rt.hostAccess(); err != nil {
 		return err
 	}
-	b.touch(units.Bytes(4 * len(v)))
+	b.touch(off, units.Bytes(4*len(v)))
 	return b.rt.space.StoreFloat32s(b.pa+phys.Addr(off), v)
 }
 
@@ -208,7 +246,7 @@ func (b *Buffer) StoreComplex64s(off units.Bytes, v []complex64) error {
 	if err := b.rt.hostAccess(); err != nil {
 		return err
 	}
-	b.touch(units.Bytes(8 * len(v)))
+	b.touch(off, units.Bytes(8*len(v)))
 	return b.rt.space.StoreComplex64s(b.pa+phys.Addr(off), v)
 }
 
@@ -225,7 +263,7 @@ func (b *Buffer) WriteInt32s(off units.Bytes, v []int32) error {
 	if err := b.rt.hostAccess(); err != nil {
 		return err
 	}
-	b.touch(units.Bytes(4 * len(v)))
+	b.touch(off, units.Bytes(4*len(v)))
 	return b.rt.space.WriteInt32s(b.pa+phys.Addr(off), v)
 }
 
@@ -243,12 +281,29 @@ type Plan struct {
 	desc   *descriptor.Descriptor
 	baseVA vm.VAddr
 	basePA phys.Addr
+	// writes are the spans the descriptor's task graph initializes,
+	// propagated into the runtime's initialized set after each execution.
+	writes []tdlcheck.Span
 }
 
 // AccPlan compiles a TDL program against the parameter table and encodes
-// the resulting descriptor into the command space (mealib_acc_plan).
+// the resulting descriptor into the command space (mealib_acc_plan). The
+// program is statically verified first (unless Config.NoVerify): dangling
+// parameter references, bad loop trip counts, inconsistent operand sizes
+// and malformed task graphs are rejected here, with TDL line numbers,
+// instead of failing deep inside the accelerator layer.
 func (r *Runtime) AccPlan(tdlSrc string, params map[string]descriptor.Params) (*Plan, error) {
-	d, err := tdl.CompileString(tdlSrc, tdl.MapResolver(params))
+	prog, err := tdl.Parse(tdlSrc)
+	if err != nil {
+		return nil, err
+	}
+	resolve := tdl.MapResolver(params)
+	if !r.cfg.NoVerify {
+		if err := tdlcheck.Verify(prog, resolve); err != nil {
+			return nil, fmt.Errorf("mealibrt: program rejected by the static verifier: %w", err)
+		}
+	}
+	d, err := tdl.Compile(prog, resolve)
 	if err != nil {
 		return nil, err
 	}
@@ -256,8 +311,17 @@ func (r *Runtime) AccPlan(tdlSrc string, params map[string]descriptor.Params) (*
 }
 
 // AccPlanDescriptor installs an already-built descriptor (the path the Go
-// public API uses).
+// public API uses). Unless Config.NoVerify is set, the descriptor is run
+// through the static verifier first.
 func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
+	if d == nil {
+		return nil, fmt.Errorf("mealibrt: nil descriptor")
+	}
+	if !r.cfg.NoVerify {
+		if err := tdlcheck.VerifyDescriptor(d); err != nil {
+			return nil, fmt.Errorf("mealibrt: descriptor rejected by the static verifier: %w", err)
+		}
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,7 +333,12 @@ func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
 		_ = r.driver.Free(va)
 		return nil, err
 	}
-	return &Plan{rt: r, desc: d, baseVA: va, basePA: pa}, nil
+	writes, err := tdlcheck.Writes(d)
+	if err != nil {
+		_ = r.driver.Free(va)
+		return nil, err
+	}
+	return &Plan{rt: r, desc: d, baseVA: va, basePA: pa, writes: writes}, nil
 }
 
 // Descriptor returns the plan's descriptor.
@@ -312,6 +381,13 @@ func InvocationOverhead(h *cpu.Host, setup units.Seconds, descSize, dirty units.
 // and account. The same plan can be executed repeatedly.
 func (p *Plan) Execute() (*Invocation, error) {
 	r := p.rt
+	// Launch-time verification: with the host's initialized spans now
+	// known, reject task graphs that would read uninitialized buffers.
+	if !r.cfg.NoVerify {
+		if err := tdlcheck.VerifyDescriptor(p.desc, tdlcheck.WithInitialized(r.initialized...)); err != nil {
+			return nil, fmt.Errorf("mealibrt: launch rejected by the static verifier: %w", err)
+		}
+	}
 	dirty := r.dirty
 	if llc := r.cfg.Host.Cache.LLC(); dirty > llc {
 		dirty = llc
@@ -332,6 +408,10 @@ func (p *Plan) Execute() (*Invocation, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// The descriptor's writes are now live data for subsequent launches.
+	for _, s := range p.writes {
+		r.markInitialized(s)
 	}
 	idle := r.cfg.Host.Wait(rep.Time)
 	inv := &Invocation{

@@ -115,7 +115,7 @@ func TestAccPlanExecuteDestroy(t *testing.T) {
 	if inv.OverheadTime <= 0 || inv.Report.Time <= 0 {
 		t.Errorf("invocation costs: %+v", inv)
 	}
-	if inv.TotalTime() != inv.OverheadTime+inv.Report.Time {
+	if !units.CloseTo(float64(inv.TotalTime()), float64(inv.OverheadTime+inv.Report.Time)) {
 		t.Error("TotalTime must sum components")
 	}
 	if inv.TotalEnergy() <= inv.Report.Energy {

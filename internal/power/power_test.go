@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mealib/internal/descriptor"
+	"mealib/internal/units"
 )
 
 func TestTable5Totals(t *testing.T) {
@@ -39,7 +40,7 @@ func TestAccelPower(t *testing.T) {
 			t.Errorf("%v: %v", op, err)
 			continue
 		}
-		if float64(got) != want {
+		if !units.CloseTo(float64(got), want) {
 			t.Errorf("%v power = %v, want %v", op, got, want)
 		}
 	}
@@ -53,7 +54,7 @@ func TestRESHPOnLogicLayer(t *testing.T) {
 	if tab.Accels[descriptor.OpRESHP].Area != 0 {
 		t.Error("RESHP occupies no accelerator-layer area (it is on the DRAM logic layer)")
 	}
-	if tab.LogicLayerExtra.Power != 0.25 {
+	if !units.CloseTo(float64(tab.LogicLayerExtra.Power), 0.25) {
 		t.Errorf("logic-layer extra power = %v, want 0.25 W", tab.LogicLayerExtra.Power)
 	}
 }

@@ -33,6 +33,9 @@ type Block interface{ isBlock() }
 // Pass is a chained datapath of accelerator invocations.
 type Pass struct {
 	Comps []Comp
+	// Line is the 1-based source line of the PASS keyword (0 when the
+	// program was built programmatically rather than parsed).
+	Line int
 }
 
 func (Pass) isBlock() {}
@@ -43,6 +46,9 @@ func (Pass) isBlock() {}
 type Loop struct {
 	Counts []int
 	Passes []Pass
+	// Line is the 1-based source line of the LOOP keyword (0 when built
+	// programmatically).
+	Line int
 }
 
 // Count returns the flattened iteration count of the nest.
@@ -62,6 +68,9 @@ func (Loop) isBlock() {}
 type Comp struct {
 	Op       descriptor.OpCode
 	ParamRef string
+	// Line is the 1-based source line of the COMP keyword (0 when built
+	// programmatically).
+	Line int
 }
 
 // token kinds.
@@ -225,9 +234,11 @@ func Parse(src string) (*Program, error) {
 
 func (p *parser) parsePass() (Pass, error) {
 	var pass Pass
-	if _, err := p.expect(tokIdent, "PASS"); err != nil {
+	kw, err := p.expect(tokIdent, "PASS")
+	if err != nil {
 		return pass, err
 	}
+	pass.Line = kw.line
 	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
 		return pass, err
 	}
@@ -249,9 +260,11 @@ func (p *parser) parsePass() (Pass, error) {
 
 func (p *parser) parseComp() (Comp, error) {
 	var comp Comp
-	if _, err := p.expect(tokIdent, "COMP"); err != nil {
+	ckw, err := p.expect(tokIdent, "COMP")
+	if err != nil {
 		return comp, err
 	}
+	comp.Line = ckw.line
 	opTok, err := p.expect(tokIdent, "accelerator name")
 	if err != nil {
 		return comp, err
@@ -278,9 +291,11 @@ func (p *parser) parseComp() (Comp, error) {
 
 func (p *parser) parseLoop() (Loop, error) {
 	var loop Loop
-	if _, err := p.expect(tokIdent, "LOOP"); err != nil {
+	lkw, err := p.expect(tokIdent, "LOOP")
+	if err != nil {
 		return loop, err
 	}
+	loop.Line = lkw.line
 	countTok, err := p.expect(tokInt, "loop count")
 	if err != nil {
 		return loop, err

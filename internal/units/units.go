@@ -4,7 +4,10 @@
 // arithmetic, but the named types keep module interfaces self-documenting.
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Bytes is a size in bytes.
 type Bytes int64
@@ -169,4 +172,13 @@ func GFlopsPerWatt(rate FlopsPerSec, p Watts) float64 {
 		return 0
 	}
 	return rate.G() / float64(p)
+}
+
+// CloseTo reports whether two model outputs agree to within an absolute
+// or relative tolerance of 1e-9. Energy, latency and bandwidth figures
+// come out of chains of float64 arithmetic, so tests compare them with
+// CloseTo instead of ==/!= (which mealint's floateq analyzer rejects).
+func CloseTo(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
 }

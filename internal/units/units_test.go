@@ -62,7 +62,7 @@ func TestSecondsString(t *testing.T) {
 
 func TestEnergyAndPower(t *testing.T) {
 	e := Watts(20).Energy(0.5)
-	if e != 10 {
+	if math.Abs(float64(e)-10) > 1e-12 {
 		t.Errorf("20W for 0.5s = %v J, want 10", float64(e))
 	}
 	if got := Joules(0.002).String(); got != "2.00mJ" {
@@ -98,7 +98,7 @@ func TestFlopsRate(t *testing.T) {
 }
 
 func TestEDP(t *testing.T) {
-	if got := EDP(2, 3); got != 6 {
+	if got := EDP(2, 3); math.Abs(got-6) > 1e-12 {
 		t.Errorf("EDP(2J,3s) = %v, want 6", got)
 	}
 }
