@@ -12,11 +12,13 @@ import (
 	"testing"
 
 	"mealib/internal/accel"
+	"mealib/internal/apps/sar"
 	"mealib/internal/apps/stap"
 	"mealib/internal/descriptor"
 	"mealib/internal/dram"
 	"mealib/internal/exp"
 	"mealib/internal/kernels"
+	"mealib/internal/mealibrt"
 	"mealib/internal/phys"
 	"mealib/internal/platform"
 	"mealib/internal/power"
@@ -536,4 +538,170 @@ func BenchmarkAblationRemoteStack(b *testing.B) {
 		ratio = float64(remote.AccelTime) / float64(local.AccelTime)
 	}
 	b.ReportMetric(ratio, "remote-vs-local-slowdown")
+}
+
+// --- Functional execution engine: serial vs parallel LOOP dispatch ---
+
+// funcBenchLayer builds a layer with an explicit worker-pool size over a
+// space with a mapped arena.
+func funcBenchLayer(b *testing.B, workers int) (*accel.Layer, *phys.Space) {
+	b.Helper()
+	cfg := accel.MEALibConfig()
+	cfg.Workers = workers
+	l, err := accel.NewLayer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := phys.NewSpace(1 * units.GiB)
+	if _, err := s.Map(0x10000, 64*units.MiB); err != nil {
+		b.Fatal(err)
+	}
+	return l, s
+}
+
+// benchWorkerModes runs fn once per worker mode: serial pins Workers=1,
+// parallel uses the automatic min(GOMAXPROCS, Tiles) pool.
+func benchWorkerModes(b *testing.B, fn func(b *testing.B, workers int)) {
+	b.Run("serial", func(b *testing.B) { fn(b, 1) })
+	b.Run("parallel", func(b *testing.B) { fn(b, 0) })
+}
+
+// BenchmarkFunctionalLoopAXPY measures a multi-iteration strided AXPY LOOP
+// through the functional interpreter (the acceptance workload: independent
+// iterations the engine may fan out).
+func BenchmarkFunctionalLoopAXPY(b *testing.B) {
+	benchWorkerModes(b, func(b *testing.B, workers int) {
+		l, s := funcBenchLayer(b, workers)
+		const n, iters = 4096, 64
+		rng := rand.New(rand.NewSource(5))
+		buf := make([]float32, n*iters)
+		for i := range buf {
+			buf[i] = float32(rng.NormFloat64())
+		}
+		xa, ya := phys.Addr(0x10000), phys.Addr(0x10000+4*n*iters)
+		if err := s.StoreFloat32s(xa, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.StoreFloat32s(ya, buf); err != nil {
+			b.Fatal(err)
+		}
+		d := &descriptor.Descriptor{}
+		if err := d.AddLoop(iters); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+			N: n, Alpha: 1.0001, X: xa, Y: ya, IncX: 1, IncY: 1,
+			LoopStrideX: accel.Lin(4 * n), LoopStrideY: accel.Lin(4 * n),
+		}.Params()); err != nil {
+			b.Fatal(err)
+		}
+		d.AddEndPass()
+		d.AddEndLoop()
+		base := phys.Addr(0x10000 + 2*4*n*iters + 4096)
+		b.SetBytes(int64(2 * 4 * n * iters))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.RunPlain(s, d, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFunctionalLoopFFT measures the per-row in-place FFT LOOP (the
+// SAR row shape) through the functional interpreter.
+func BenchmarkFunctionalLoopFFT(b *testing.B) {
+	benchWorkerModes(b, func(b *testing.B, workers int) {
+		l, s := funcBenchLayer(b, workers)
+		const n, iters = 1024, 64
+		rng := rand.New(rand.NewSource(6))
+		buf := make([]complex64, n*iters)
+		for i := range buf {
+			buf[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+		}
+		sa := phys.Addr(0x10000)
+		if err := s.StoreComplex64s(sa, buf); err != nil {
+			b.Fatal(err)
+		}
+		d := &descriptor.Descriptor{}
+		if err := d.AddLoop(iters); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.AddComp(descriptor.OpFFT, accel.FFTArgs{
+			N: n, HowMany: 1, Src: sa, Dst: sa,
+			LoopStrideSrc: accel.Lin(8 * n), LoopStrideDst: accel.Lin(8 * n),
+		}.Params()); err != nil {
+			b.Fatal(err)
+		}
+		d.AddEndPass()
+		d.AddEndLoop()
+		base := phys.Addr(0x10000 + 8*n*iters + 4096)
+		b.SetBytes(int64(8 * n * iters))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.RunPlain(s, d, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFunctionalSTAPInnerProducts drives the STAP adaptive-weight
+// inner-product stage (a 3-level LOOP of complex DOTs) functionally.
+func BenchmarkFunctionalSTAPInnerProducts(b *testing.B) {
+	benchWorkerModes(b, func(b *testing.B, workers int) {
+		cfg := mealibrt.DefaultConfig()
+		cfg.Workers = workers
+		rt, err := mealibrt.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := stap.Params{Name: "bench", NChan: 4, NPulses: 16, NRange: 512,
+			NBlocks: 4, NSteering: 8, TDOF: 4, TBS: 32}
+		pl, err := stap.NewPipeline(p, rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.LoadDatacube(7); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pl.DopplerProcess(); err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.SolveWeights(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.InnerProducts(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFunctionalSARFormImage drives the chained per-row RESMP+FFT SAR
+// image formation functionally.
+func BenchmarkFunctionalSARFormImage(b *testing.B) {
+	benchWorkerModes(b, func(b *testing.B, workers int) {
+		cfg := mealibrt.DefaultConfig()
+		cfg.Workers = workers
+		rt, err := mealibrt.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl, err := sar.NewPipeline(sar.Square(128), rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.LoadRaw(3); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.FormImageChained(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -7,12 +7,16 @@
 //	mealib-bench -tab 5     # one table (1..5)
 //	mealib-bench -fig 9     # one figure (1, 9, 10, 11, 12, 13, 14)
 //	mealib-bench -scale 2   # scale factor for the measured Figure 1
+//	mealib-bench -micro .   # functional-path micro-benchmarks; writes one
+//	                        # BENCH_<op>.json per op into the directory
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mealib/internal/exp"
 )
@@ -23,6 +27,8 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale for the measured Figure 1")
 	ablations := flag.Bool("ablations", false, "quantify the DESIGN.md design choices")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text tables")
+	micro := flag.String("micro", "", "run the functional-path micro-benchmarks and write BENCH_<op>.json files into this directory")
+	workers := flag.Int("workers", 0, "accelerator worker-pool size for -micro (0 = auto, 1 = serial)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -62,6 +68,23 @@ func main() {
 	}
 
 	switch {
+	case *micro != "":
+		rows, err := exp.MicroBenchmarks(*workers)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range rows {
+			out, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			path := filepath.Join(*micro, "BENCH_"+r.Op+".json")
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		printTable(exp.RenderMicro(rows), nil)
 	case *ablations:
 		printTable(exp.RenderAblations())
 	case *tab != 0:

@@ -2,6 +2,10 @@ package accel
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mealib/internal/descriptor"
 	"mealib/internal/noc"
@@ -264,36 +268,137 @@ func (l *Layer) iterDispatch() units.Seconds {
 	return l.cfg.IterDispatchLatency / units.Seconds(l.cfg.Tiles)
 }
 
-// runLoop iterates the hardware loop nest over its passes, bumping the
-// iteration vector the way the decode unit advances buffer addresses.
-func (l *Layer) runLoop(exec execFunc, counts descriptor.LoopCounts, passes [][]passInstr, rep *Report) error {
-	rep.Time += l.cfg.PassConfigLatency * units.Seconds(len(passes))
+// merge folds a per-iteration sub-report into r. Per-op stats merge in
+// opcode order so the float accumulation sequence is a pure function of the
+// iteration order — never of map iteration or goroutine completion order.
+func (r *Report) merge(sub *Report) {
+	r.Time += sub.Time
+	r.Energy += sub.Energy
+	r.Comps += sub.Comps
+	r.NoCBytes += sub.NoCBytes
+	r.LMSpillBytes += sub.LMSpillBytes
+	r.RemoteBytes += sub.RemoteBytes
+	ops := make([]descriptor.OpCode, 0, len(sub.PerOp))
+	for op := range sub.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		st := sub.PerOp[op]
+		agg := r.opStats(op)
+		agg.Invocations += st.Invocations
+		agg.Time += st.Time
+		agg.Energy += st.Energy
+		agg.Flops += st.Flops
+		agg.Bytes += st.Bytes
+	}
+}
+
+// iterVecAt decomposes a linear iteration index into the loop-nest vector,
+// innermost level varying fastest — the same order the recursive nest
+// visits.
+func iterVecAt(counts descriptor.LoopCounts, idx int64) IterVec {
 	var it IterVec
-	var step func(level int) error
-	step = func(level int) error {
-		if level == descriptor.MaxLoopLevels {
-			for _, p := range passes {
-				if err := l.runPass(exec, p, it, rep); err != nil {
-					return err
-				}
-			}
-			rep.Time += l.iterDispatch()
-			return nil
-		}
+	for level := descriptor.MaxLoopLevels - 1; level >= 0; level-- {
 		n := int64(counts[level])
 		if n < 1 {
 			n = 1
 		}
-		for k := int64(0); k < n; k++ {
-			it[level] = k
-			if err := step(level + 1); err != nil {
-				return err
-			}
-		}
-		it[level] = 0
-		return nil
+		it[level] = idx % n
+		idx /= n
 	}
-	return step(0)
+	return it
+}
+
+// loopWorkers sizes the worker pool for a loop of iters iterations:
+// cfg.Workers if set (1 forces serial; values above GOMAXPROCS are
+// honoured), else min(GOMAXPROCS, Tiles) — one worker per tile the decode
+// unit could dispatch to, never more than the host can run.
+func (l *Layer) loopWorkers(iters int64) int {
+	w := l.cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > l.cfg.Tiles {
+			w = l.cfg.Tiles
+		}
+	}
+	if int64(w) > iters {
+		w = int(iters)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runIteration executes one full iteration of the loop body (all its
+// passes) into a fresh sub-report, including the iteration's dispatch
+// charge.
+func (l *Layer) runIteration(exec execFunc, passes [][]passInstr, it IterVec) (*Report, error) {
+	sub := newReport()
+	for _, p := range passes {
+		if err := l.runPass(exec, p, it, sub); err != nil {
+			return nil, err
+		}
+	}
+	sub.Time += l.iterDispatch()
+	return sub, nil
+}
+
+// runLoop iterates the hardware loop nest over its passes, bumping the
+// iteration vector the way the decode unit advances buffer addresses.
+// Iterations proven independent (disjoint read/write spans — the property
+// the compiler guarantees before emitting a LOOP, re-derived here by
+// loopIndependent) fan out across a worker pool, mirroring the decode
+// unit's round-robin tile dispatch. Both paths build one sub-report per
+// iteration and merge them in iteration order, so serial and parallel runs
+// produce byte-identical spaces and identical reports.
+func (l *Layer) runLoop(exec execFunc, counts descriptor.LoopCounts, passes [][]passInstr, rep *Report) error {
+	rep.Time += l.cfg.PassConfigLatency * units.Seconds(len(passes))
+	iters := counts.Total()
+	if workers := l.loopWorkers(iters); workers > 1 && loopIndependent(counts, passes, iters) {
+		return l.runLoopParallel(exec, counts, passes, rep, iters, workers)
+	}
+	for idx := int64(0); idx < iters; idx++ {
+		sub, err := l.runIteration(exec, passes, iterVecAt(counts, idx))
+		if err != nil {
+			return err
+		}
+		rep.merge(sub)
+	}
+	return nil
+}
+
+// runLoopParallel executes the iterations on workers goroutines claiming
+// indices from a shared counter, then merges the sub-reports in iteration
+// order. The first error in iteration order wins, matching what the serial
+// path would have returned.
+func (l *Layer) runLoopParallel(exec execFunc, counts descriptor.LoopCounts, passes [][]passInstr, rep *Report, iters int64, workers int) error {
+	subs := make([]*Report, iters)
+	errs := make([]error, iters)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := next.Add(1) - 1
+				if idx >= iters {
+					return
+				}
+				subs[idx], errs[idx] = l.runIteration(exec, passes, iterVecAt(counts, idx))
+			}
+		}()
+	}
+	wg.Wait()
+	for idx := int64(0); idx < iters; idx++ {
+		if errs[idx] != nil {
+			return errs[idx]
+		}
+		rep.merge(subs[idx])
+	}
+	return nil
 }
 
 // runPass executes one pass datapath: the comps run in order against the

@@ -53,6 +53,15 @@ type Config struct {
 	// ELinkBit is the energy to move one bit across a link.
 	ELinkBit units.Joules
 
+	// Workers bounds the goroutines the functional interpreter fans
+	// independent LOOP iterations across. 0 selects the automatic size
+	// min(GOMAXPROCS, Tiles); 1 restores fully serial execution. Values
+	// above GOMAXPROCS are honoured (useful to exercise the parallel path
+	// deterministically on small hosts). Parallel and serial runs produce
+	// byte-identical spaces and identical reports; iterations whose spans
+	// overlap fall back to serial automatically.
+	Workers int
+
 	// PassConfigLatency is charged once per pass entry: the decode unit
 	// activating accelerators and each accelerator fetching its
 	// configuration from memory (paper §2.2).
@@ -105,6 +114,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("accel: non-positive datapath parameters")
 	case c.StreamEfficiency <= 0 || c.StreamEfficiency > 1:
 		return fmt.Errorf("accel: stream efficiency %v out of (0,1]", c.StreamEfficiency)
+	case c.Workers < 0:
+		return fmt.Errorf("accel: negative worker count %d", c.Workers)
 	}
 	if err := c.CU.Validate(); err != nil {
 		return err

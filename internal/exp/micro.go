@@ -1,0 +1,462 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/kernels"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// MicroResult is one functional-path micro-benchmark record. mealib-bench
+// -micro writes one BENCH_<op>.json per op so the performance trajectory of
+// the execution engine can be tracked across PRs.
+//
+// NsPerOp times one descriptor launch through the full functional simulator
+// (decode, independence check, worker pool, zero-copy cores, modelled
+// report). HostNsPerOp runs the same arithmetic as direct host library
+// calls, one call per LOOP iteration, with no simulator in the path — the
+// way original code would invoke the library. SpeedupVsHost therefore
+// isolates the engine cost: 1.0 means simulating the op is as fast as
+// calling the kernel directly; below 1.0 is the overhead factor the
+// simulator adds, above 1.0 means batching plus the worker pool beat
+// one-call-at-a-time host dispatch.
+type MicroResult struct {
+	Op          string  `json:"op"`
+	Size        int64   `json:"size"`       // elements per comp invocation
+	LoopIters   int64   `json:"loop_iters"` // LOOP trip count per launch
+	Workers     int     `json:"workers"`    // resolved worker-pool size
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	HostNsPerOp float64 `json:"host_ns_per_op"`
+	Speedup     float64 `json:"speedup_vs_host"`
+}
+
+// microRig is the arena the micro-benchmarks run against.
+type microRig struct {
+	space *phys.Space
+	layer *accel.Layer
+	next  phys.Addr
+}
+
+const microArenaBase phys.Addr = 0x10000
+
+func newMicroRig(workers int) (*microRig, error) {
+	s := phys.NewSpace(256 * units.MiB)
+	if _, err := s.Map(microArenaBase, 32*units.MiB); err != nil {
+		return nil, err
+	}
+	cfg := accel.MEALibConfig()
+	cfg.Workers = workers
+	l, err := accel.NewLayer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &microRig{space: s, layer: l, next: microArenaBase}, nil
+}
+
+// alloc reserves n bytes, 64-byte aligned so views stay zero-copy.
+func (m *microRig) alloc(n int) phys.Addr {
+	a := m.next
+	m.next += phys.Addr((n + 63) &^ 63)
+	return a
+}
+
+func (m *microRig) fillF32(addr phys.Addr, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return m.space.StoreFloat32s(addr, v)
+}
+
+func (m *microRig) fillC64(addr phys.Addr, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex64, n)
+	for i := range v {
+		v[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return m.space.StoreComplex64s(addr, v)
+}
+
+// randF32 mirrors fillF32 for the host-side baseline buffers.
+func randF32(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func randC64(n int, seed int64) []complex64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex64, n)
+	for i := range v {
+		v[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return v
+}
+
+// loopDesc wraps one comp in a LOOP iters { PASS { comp } } descriptor.
+func loopDesc(iters int64, op descriptor.OpCode, p descriptor.Params) (*descriptor.Descriptor, error) {
+	d := &descriptor.Descriptor{}
+	if err := d.AddLoop(uint32(iters)); err != nil {
+		return nil, err
+	}
+	if err := d.AddComp(op, p); err != nil {
+		return nil, err
+	}
+	d.AddEndPass()
+	d.AddEndLoop()
+	return d, nil
+}
+
+// microCase pairs one accelerated descriptor with an equivalent host loop.
+type microCase struct {
+	op    string
+	size  int64
+	iters int64
+	// setup fills the rig and returns the descriptor plus the host baseline
+	// closure performing the same total work with direct kernel calls.
+	setup func(m *microRig) (*descriptor.Descriptor, func() error, error)
+}
+
+// microCases builds the per-op benchmark definitions. Sizes are chosen so
+// one launch does enough arithmetic to dominate fixed costs while a full
+// sweep still finishes in seconds.
+func microCases() []microCase {
+	return []microCase{
+		{op: "AXPY", size: 4096, iters: 64, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			const n, iters = 4096, 64
+			xa := m.alloc(4 * n * iters)
+			ya := m.alloc(4 * n * iters)
+			if err := m.fillF32(xa, n*iters, 1); err != nil {
+				return nil, nil, err
+			}
+			if err := m.fillF32(ya, n*iters, 2); err != nil {
+				return nil, nil, err
+			}
+			d, err := loopDesc(iters, descriptor.OpAXPY, accel.AxpyArgs{
+				N: n, Alpha: 0.5, X: xa, Y: ya, IncX: 1, IncY: 1,
+				LoopStrideX: accel.Lin(4 * n), LoopStrideY: accel.Lin(4 * n),
+			}.Params())
+			if err != nil {
+				return nil, nil, err
+			}
+			hx := randF32(n*iters, 1)
+			hy := randF32(n*iters, 2)
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					if err := kernels.Saxpy(n, 0.5, hx[i*n:(i+1)*n], 1, hy[i*n:(i+1)*n], 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
+		{op: "DOT", size: 4096, iters: 64, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			const n, iters = 4096, 64
+			xa := m.alloc(4 * n * iters)
+			ya := m.alloc(4 * n)
+			oa := m.alloc(4 * iters)
+			if err := m.fillF32(xa, n*iters, 3); err != nil {
+				return nil, nil, err
+			}
+			if err := m.fillF32(ya, n, 4); err != nil {
+				return nil, nil, err
+			}
+			d, err := loopDesc(iters, descriptor.OpDOT, accel.DotArgs{
+				N: n, X: xa, Y: ya, Out: oa, IncX: 1, IncY: 1,
+				LoopStrideX: accel.Lin(4 * n), LoopStrideOut: accel.Lin(4),
+			}.Params())
+			if err != nil {
+				return nil, nil, err
+			}
+			hx := randF32(n*iters, 3)
+			hy := randF32(n, 4)
+			hout := make([]float32, iters)
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					v, err := kernels.Sdot(n, hx[i*n:(i+1)*n], 1, hy, 1)
+					if err != nil {
+						return err
+					}
+					hout[i] = v
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
+		{op: "GEMV", size: 128 * 128, iters: 32, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			const mm, nn, iters = 128, 128, 32
+			aa := m.alloc(4 * mm * nn * iters)
+			xa := m.alloc(4 * nn)
+			ya := m.alloc(4 * mm * iters)
+			if err := m.fillF32(aa, mm*nn*iters, 5); err != nil {
+				return nil, nil, err
+			}
+			if err := m.fillF32(xa, nn, 6); err != nil {
+				return nil, nil, err
+			}
+			d, err := loopDesc(iters, descriptor.OpGEMV, accel.GemvArgs{
+				M: mm, N: nn, Alpha: 1, Beta: 0, A: aa, Lda: nn, X: xa, Y: ya,
+				LoopStrideA: accel.Lin(4 * mm * nn), LoopStrideY: accel.Lin(4 * mm),
+			}.Params())
+			if err != nil {
+				return nil, nil, err
+			}
+			ha := randF32(mm*nn*iters, 5)
+			hx := randF32(nn, 6)
+			hy := make([]float32, mm*iters)
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					if err := kernels.Sgemv(mm, nn, 1, ha[i*mm*nn:(i+1)*mm*nn], nn, hx, 0, hy[i*mm:(i+1)*mm]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
+		{op: "SPMV", size: 4096, iters: 8, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			const rows, perRow, iters = 4096, 4, 8
+			nnz := rows * perRow
+			rowPtr := make([]int32, rows+1)
+			colIdx := make([]int32, nnz)
+			values := randF32(nnz, 7)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < perRow; j++ {
+					colIdx[i*perRow+j] = int32((i*perRow + j*997) % rows)
+				}
+				rowPtr[i+1] = int32((i + 1) * perRow)
+			}
+			rpa := m.alloc(4 * (rows + 1))
+			cia := m.alloc(4 * nnz)
+			va := m.alloc(4 * nnz)
+			xa := m.alloc(4 * rows)
+			ya := m.alloc(4 * rows)
+			if err := m.space.WriteInt32s(rpa, rowPtr); err != nil {
+				return nil, nil, err
+			}
+			if err := m.space.WriteInt32s(cia, colIdx); err != nil {
+				return nil, nil, err
+			}
+			if err := m.space.StoreFloat32s(va, values); err != nil {
+				return nil, nil, err
+			}
+			if err := m.fillF32(xa, rows, 8); err != nil {
+				return nil, nil, err
+			}
+			// SPMV has no loop strides: every iteration touches the same
+			// spans, so this case also exercises the serial fallback.
+			d, err := loopDesc(iters, descriptor.OpSPMV, accel.SpmvArgs{
+				M: rows, Cols: rows, NNZ: int64(nnz),
+				RowPtr: rpa, ColIdx: cia, Values: va, X: xa, Y: ya,
+			}.Params())
+			if err != nil {
+				return nil, nil, err
+			}
+			hx := randF32(rows, 8)
+			hy := make([]float32, rows)
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					if err := kernels.SpmvCSR(rows, rowPtr, colIdx, values, hx, hy); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
+		{op: "RESMP", size: 4096, iters: 32, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			const nin, nout, iters = 4096, 8192, 32
+			sa := m.alloc(4 * nin * iters)
+			da := m.alloc(4 * nout * iters)
+			if err := m.fillF32(sa, nin*iters, 9); err != nil {
+				return nil, nil, err
+			}
+			d, err := loopDesc(iters, descriptor.OpRESMP, accel.ResmpArgs{
+				NIn: nin, NOut: nout, Kind: int64(kernels.InterpCubic),
+				Src: sa, Dst: da,
+				LoopStrideSrc: accel.Lin(4 * nin), LoopStrideDst: accel.Lin(4 * nout),
+			}.Params())
+			if err != nil {
+				return nil, nil, err
+			}
+			hs := randF32(nin*iters, 9)
+			hd := make([]float32, nout*iters)
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					if err := kernels.Resample(hs[i*nin:(i+1)*nin], hd[i*nout:(i+1)*nout], kernels.InterpCubic); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
+		{op: "FFT", size: 1024, iters: 32, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			const n, batch, iters = 1024, 4, 32
+			sa := m.alloc(8 * n * batch * iters)
+			if err := m.fillC64(sa, n*batch*iters, 10); err != nil {
+				return nil, nil, err
+			}
+			d, err := loopDesc(iters, descriptor.OpFFT, accel.FFTArgs{
+				N: n, HowMany: batch, Src: sa, Dst: sa,
+				LoopStrideSrc: accel.Lin(8 * n * batch), LoopStrideDst: accel.Lin(8 * n * batch),
+			}.Params())
+			if err != nil {
+				return nil, nil, err
+			}
+			hd := randC64(n*batch*iters, 10)
+			plan, err := kernels.NewFFTPlan(n, kernels.Forward)
+			if err != nil {
+				return nil, nil, err
+			}
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					if err := kernels.FFTBatch(plan, hd[i*n*batch:(i+1)*n*batch], batch); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
+		{op: "RESHP", size: 256 * 256, iters: 4, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			const edge, iters = 256, 4
+			sa := m.alloc(4 * edge * edge)
+			da := m.alloc(4 * edge * edge)
+			if err := m.fillF32(sa, edge*edge, 11); err != nil {
+				return nil, nil, err
+			}
+			// RESHP has no loop strides either — serial fallback path.
+			d, err := loopDesc(iters, descriptor.OpRESHP, accel.ReshpArgs{
+				Rows: edge, Cols: edge, Elem: accel.ElemF32, Src: sa, Dst: da,
+			}.Params())
+			if err != nil {
+				return nil, nil, err
+			}
+			hs := randF32(edge*edge, 11)
+			hd := make([]float32, edge*edge)
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					if err := kernels.Transpose(edge, edge, hs, hd); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
+	}
+}
+
+// microSetup prepares one case on a fresh rig and sanity-runs both sides
+// once so benchmark loops never hit a first-call error.
+func microSetup(c microCase, workers int) (*microRig, *descriptor.Descriptor, phys.Addr, func() error, error) {
+	rig, err := newMicroRig(workers)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	d, host, err := c.setup(rig)
+	if err != nil {
+		return nil, nil, 0, nil, fmt.Errorf("exp: micro %s setup: %w", c.op, err)
+	}
+	base := rig.alloc(int(d.Size()))
+	if _, err := rig.layer.RunPlain(rig.space, d, base); err != nil {
+		return nil, nil, 0, nil, fmt.Errorf("exp: micro %s warm-up: %w", c.op, err)
+	}
+	if err := host(); err != nil {
+		return nil, nil, 0, nil, fmt.Errorf("exp: micro %s host warm-up: %w", c.op, err)
+	}
+	return rig, d, base, host, nil
+}
+
+// MicroBenchmarks measures every op through the functional execution engine
+// and against its host-library baseline. workers is the accel.Config.Workers
+// knob (0 = auto, 1 = serial).
+func MicroBenchmarks(workers int) ([]MicroResult, error) {
+	resolved := workers
+	if resolved == 0 {
+		resolved = runtime.GOMAXPROCS(0)
+		if t := accel.MEALibConfig().Tiles; resolved > t {
+			resolved = t
+		}
+	}
+	var out []MicroResult
+	for _, c := range microCases() {
+		rig, d, base, host, err := microSetup(c, workers)
+		if err != nil {
+			return nil, err
+		}
+		var runErr error
+		accelRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rig.layer.RunPlain(rig.space, d, base); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("exp: micro %s: %w", c.op, runErr)
+		}
+		hostRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := host(); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("exp: micro %s host: %w", c.op, runErr)
+		}
+		ns := float64(accelRes.NsPerOp())
+		hostNs := float64(hostRes.NsPerOp())
+		sp := 0.0
+		if ns > 0 {
+			sp = hostNs / ns
+		}
+		out = append(out, MicroResult{
+			Op: c.op, Size: c.size, LoopIters: c.iters,
+			Workers: resolved, GoMaxProcs: runtime.GOMAXPROCS(0),
+			NsPerOp: ns, AllocsPerOp: accelRes.AllocsPerOp(), BytesPerOp: accelRes.AllocedBytesPerOp(),
+			HostNsPerOp: hostNs, Speedup: sp,
+		})
+	}
+	return out, nil
+}
+
+// RenderMicro produces the printable summary of one sweep.
+func RenderMicro(rows []MicroResult) *Table {
+	t := &Table{
+		Title:   "Functional-path micro-benchmarks (one descriptor launch)",
+		Columns: []string{"Op", "Size", "Iters", "ns/op", "allocs/op", "host ns/op", "vs host"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Op, fmt.Sprintf("%d", r.Size), fmt.Sprintf("%d", r.LoopIters),
+			fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%.0f", r.HostNsPerOp), f(r.Speedup),
+		})
+	}
+	if len(rows) > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("workers=%d gomaxprocs=%d; host = direct per-iteration kernel calls, no simulator",
+				rows[0].Workers, rows[0].GoMaxProcs))
+	}
+	return t
+}

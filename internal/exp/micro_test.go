@@ -1,0 +1,41 @@
+package exp
+
+import "testing"
+
+// TestMicroCasesRun sets up every micro-benchmark case and executes one
+// accelerated launch plus one host baseline pass — the full measurement
+// minus the timing loops, so `go test` stays fast.
+func TestMicroCasesRun(t *testing.T) {
+	for _, c := range microCases() {
+		c := c
+		t.Run(c.op, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				rig, d, base, host, err := microSetup(c, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := rig.layer.RunPlain(rig.space, d, base); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if err := host(); err != nil {
+					t.Fatalf("workers=%d host: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRenderMicro covers the table rendering with synthetic rows.
+func TestRenderMicro(t *testing.T) {
+	rows := []MicroResult{{
+		Op: "AXPY", Size: 4096, LoopIters: 64, Workers: 4, GoMaxProcs: 4,
+		NsPerOp: 1000, AllocsPerOp: 3, BytesPerOp: 256, HostNsPerOp: 900, Speedup: 0.9,
+	}}
+	tab := RenderMicro(rows)
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "AXPY" {
+		t.Fatalf("unexpected table rows: %+v", tab.Rows)
+	}
+	if empty := RenderMicro(nil); len(empty.Rows) != 0 {
+		t.Fatalf("empty render has rows: %+v", empty.Rows)
+	}
+}

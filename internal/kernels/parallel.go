@@ -36,7 +36,9 @@ func parallelRanges(n int, fn func(lo, hi int)) {
 }
 
 // parallelReduce splits [0, n) into chunks, computes a float64 partial per
-// chunk and returns the sum of partials.
+// chunk and returns the sum of partials. Partials are stored indexed by
+// chunk and summed in chunk order, so the result is a pure function of n
+// and GOMAXPROCS — never of goroutine completion order.
 func parallelReduce(n int, fn func(lo, hi int) float64) float64 {
 	workers := runtime.GOMAXPROCS(0)
 	if n < minParallel || workers <= 1 {
@@ -46,22 +48,20 @@ func parallelReduce(n int, fn func(lo, hi int) float64) float64 {
 		workers = n
 	}
 	chunk := (n + workers - 1) / workers
-	parts := make([]float64, 0, workers)
-	var mu sync.Mutex
+	nchunks := (n + chunk - 1) / chunk
+	parts := make([]float64, nchunks)
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
-			p := fn(lo, hi)
-			mu.Lock()
-			parts = append(parts, p)
-			mu.Unlock()
-		}(lo, hi)
+			parts[c] = fn(lo, hi)
+		}(c, lo, hi)
 	}
 	wg.Wait()
 	var sum float64
@@ -71,7 +71,8 @@ func parallelReduce(n int, fn func(lo, hi int) float64) float64 {
 	return sum
 }
 
-// parallelReduceComplex is parallelReduce for complex128 partials.
+// parallelReduceComplex is parallelReduce for complex128 partials, with the
+// same chunk-order summation guarantee.
 func parallelReduceComplex(n int, fn func(lo, hi int) complex128) complex128 {
 	workers := runtime.GOMAXPROCS(0)
 	if n < minParallel || workers <= 1 {
@@ -81,22 +82,20 @@ func parallelReduceComplex(n int, fn func(lo, hi int) complex128) complex128 {
 		workers = n
 	}
 	chunk := (n + workers - 1) / workers
-	parts := make([]complex128, 0, workers)
-	var mu sync.Mutex
+	nchunks := (n + chunk - 1) / chunk
+	parts := make([]complex128, nchunks)
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
-			p := fn(lo, hi)
-			mu.Lock()
-			parts = append(parts, p)
-			mu.Unlock()
-		}(lo, hi)
+			parts[c] = fn(lo, hi)
+		}(c, lo, hi)
 	}
 	wg.Wait()
 	var sum complex128

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -171,6 +172,48 @@ func TestParallelPathsMatchSerial(t *testing.T) {
 		c1 := make([]complex64, hn*hn)
 		if err := Cherk(hn, ck, 1, g, ck, 0, c1, hn); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// TestParallelReduceBitIdentical drives the reductions with partials of
+// mixed magnitude — where float addition order visibly changes the result —
+// and checks that repeated runs agree bit for bit: the partials must be
+// summed in chunk order, never in goroutine-completion order.
+func TestParallelReduceBitIdentical(t *testing.T) {
+	withProcs(t, 8, func() {
+		n := minParallel * 4
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i%97) * math.Pow(10, float64(i%13-6))
+		}
+		sum := func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			return s
+		}
+		first := parallelReduce(n, sum)
+		for run := 0; run < 50; run++ {
+			if got := parallelReduce(n, sum); math.Float64bits(got) != math.Float64bits(first) {
+				t.Fatalf("run %d: parallelReduce = %x, first run gave %x", run, math.Float64bits(got), math.Float64bits(first))
+			}
+		}
+		csum := func(lo, hi int) complex128 {
+			var s complex128
+			for i := lo; i < hi; i++ {
+				s += complex(data[i], -data[i])
+			}
+			return s
+		}
+		cfirst := parallelReduceComplex(n, csum)
+		for run := 0; run < 50; run++ {
+			got := parallelReduceComplex(n, csum)
+			if math.Float64bits(real(got)) != math.Float64bits(real(cfirst)) ||
+				math.Float64bits(imag(got)) != math.Float64bits(imag(cfirst)) {
+				t.Fatalf("run %d: parallelReduceComplex = %v, first run gave %v", run, got, cfirst)
+			}
 		}
 	})
 }

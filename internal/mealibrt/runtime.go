@@ -42,6 +42,10 @@ type Config struct {
 	// otherwise rejects malformed task graphs at plan and launch time —
 	// the library-level equivalent of tdlc's -nocheck escape hatch.
 	NoVerify bool
+	// Workers overrides the accelerator layer's worker-pool size for
+	// independent LOOP iterations: 0 keeps the layer's own setting
+	// (min(GOMAXPROCS, Tiles) by default), 1 forces serial execution.
+	Workers int
 }
 
 // DefaultConfig returns the paper's system: a Haswell host in front of one
@@ -75,8 +79,10 @@ type Runtime struct {
 	dirty units.Bytes
 	// initialized tracks which data-space spans the host (or a completed
 	// descriptor execution) has written, feeding the verifier's
-	// read-before-write check at launch time.
-	initialized []tdlcheck.Span
+	// read-before-write check at launch time. The sorted interval set keeps
+	// it proportional to the number of distinct live regions, however
+	// scattered the write history.
+	initialized spanSet
 	stats       Stats
 }
 
@@ -110,6 +116,9 @@ func New(cfg *Config) (*Runtime, error) {
 	if accelCfg.StackOf == nil {
 		accelCfg.StackOf = driver.StackOf
 		accelCfg.HomeStack = 0
+	}
+	if cfg.Workers != 0 {
+		accelCfg.Workers = cfg.Workers
 	}
 	layer, err := accel.NewLayer(&accelCfg)
 	if err != nil {
@@ -199,29 +208,11 @@ func (b *Buffer) touch(off, n units.Bytes) {
 	b.rt.markInitialized(tdlcheck.Span{Addr: b.pa + phys.Addr(off), Bytes: n})
 }
 
-// markInitialized records a span as holding live data. Adjacent and
-// overlapping spans are coalesced with the most recent entry so repeated
-// streaming stores do not grow the set unboundedly.
+// markInitialized records a span as holding live data, merging it into the
+// sorted interval set (overlaps and adjacencies coalesce regardless of
+// write order).
 func (r *Runtime) markInitialized(s tdlcheck.Span) {
-	if s.Bytes <= 0 {
-		return
-	}
-	if n := len(r.initialized); n > 0 {
-		last := &r.initialized[n-1]
-		lastEnd := last.Addr + phys.Addr(last.Bytes)
-		sEnd := s.Addr + phys.Addr(s.Bytes)
-		if s.Addr <= lastEnd && last.Addr <= sEnd { // overlap or adjacency
-			if s.Addr < last.Addr {
-				last.Bytes += units.Bytes(last.Addr - s.Addr)
-				last.Addr = s.Addr
-			}
-			if sEnd > lastEnd {
-				last.Bytes += units.Bytes(sEnd - lastEnd)
-			}
-			return
-		}
-	}
-	r.initialized = append(r.initialized, s)
+	r.initialized.add(s)
 }
 
 // StoreFloat32s writes v at byte offset off through the host mapping.
@@ -384,7 +375,7 @@ func (p *Plan) Execute() (*Invocation, error) {
 	// Launch-time verification: with the host's initialized spans now
 	// known, reject task graphs that would read uninitialized buffers.
 	if !r.cfg.NoVerify {
-		if err := tdlcheck.VerifyDescriptor(p.desc, tdlcheck.WithInitialized(r.initialized...)); err != nil {
+		if err := tdlcheck.VerifyDescriptor(p.desc, tdlcheck.WithInitialized(r.initialized.all()...)); err != nil {
 			return nil, fmt.Errorf("mealibrt: launch rejected by the static verifier: %w", err)
 		}
 	}

@@ -1,0 +1,59 @@
+package mealibrt
+
+import (
+	"sort"
+
+	"mealib/internal/analysis/tdlcheck"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// spanSet maintains the initialized-data intervals as a sorted, pairwise
+// disjoint, non-adjacent list. Insertion merges with every overlapping or
+// adjacent neighbour, so scattered host writes coalesce instead of growing
+// the set unboundedly, and each launch-time verification pass walks a list
+// whose length is the number of genuinely distinct live regions — not the
+// host's whole write history.
+type spanSet struct {
+	spans []tdlcheck.Span
+}
+
+// add inserts a span, merging overlaps and adjacencies. Amortised cost is
+// O(log n) search plus the splice; repeated streaming stores into the same
+// region stay at a single entry.
+func (ss *spanSet) add(s tdlcheck.Span) {
+	if s.Bytes <= 0 {
+		return
+	}
+	start, end := s.Addr, s.Addr+phys.Addr(s.Bytes)
+	// First existing span whose end reaches start (merge candidates begin
+	// here; adjacency counts, hence >=).
+	i := sort.Search(len(ss.spans), func(k int) bool {
+		sp := ss.spans[k]
+		return sp.Addr+phys.Addr(sp.Bytes) >= start
+	})
+	j := i
+	for j < len(ss.spans) && ss.spans[j].Addr <= end {
+		sp := ss.spans[j]
+		if sp.Addr < start {
+			start = sp.Addr
+		}
+		if e := sp.Addr + phys.Addr(sp.Bytes); e > end {
+			end = e
+		}
+		j++
+	}
+	merged := tdlcheck.Span{Addr: start, Bytes: units.Bytes(end - start)}
+	if i == j {
+		ss.spans = append(ss.spans, tdlcheck.Span{})
+		copy(ss.spans[i+1:], ss.spans[i:])
+		ss.spans[i] = merged
+		return
+	}
+	ss.spans[i] = merged
+	ss.spans = append(ss.spans[:i+1], ss.spans[j:]...)
+}
+
+// all returns the merged intervals in address order. The slice aliases the
+// set; callers must not retain it across add calls.
+func (ss *spanSet) all() []tdlcheck.Span { return ss.spans }

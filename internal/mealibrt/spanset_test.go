@@ -1,0 +1,107 @@
+package mealibrt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mealib/internal/analysis/tdlcheck"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+func spansEqual(a, b []tdlcheck.Span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpanSetMergesOverlapAndAdjacency(t *testing.T) {
+	var ss spanSet
+	ss.add(tdlcheck.Span{Addr: 100, Bytes: 10})
+	ss.add(tdlcheck.Span{Addr: 200, Bytes: 10})
+	ss.add(tdlcheck.Span{Addr: 110, Bytes: 5}) // adjacent to the first
+	want := []tdlcheck.Span{{Addr: 100, Bytes: 15}, {Addr: 200, Bytes: 10}}
+	if !spansEqual(ss.all(), want) {
+		t.Fatalf("after adjacency merge: %v, want %v", ss.all(), want)
+	}
+	// Bridge the gap: one span swallowing both entries.
+	ss.add(tdlcheck.Span{Addr: 112, Bytes: 95})
+	want = []tdlcheck.Span{{Addr: 100, Bytes: 110}}
+	if !spansEqual(ss.all(), want) {
+		t.Fatalf("after bridging add: %v, want %v", ss.all(), want)
+	}
+}
+
+func TestSpanSetOutOfOrderInserts(t *testing.T) {
+	var ss spanSet
+	ss.add(tdlcheck.Span{Addr: 500, Bytes: 8})
+	ss.add(tdlcheck.Span{Addr: 100, Bytes: 8}) // before the existing entry
+	ss.add(tdlcheck.Span{Addr: 300, Bytes: 8}) // between
+	want := []tdlcheck.Span{{Addr: 100, Bytes: 8}, {Addr: 300, Bytes: 8}, {Addr: 500, Bytes: 8}}
+	if !spansEqual(ss.all(), want) {
+		t.Fatalf("out-of-order inserts: %v, want %v", ss.all(), want)
+	}
+	ss.add(tdlcheck.Span{Addr: 0, Bytes: 1000})
+	want = []tdlcheck.Span{{Addr: 0, Bytes: 1000}}
+	if !spansEqual(ss.all(), want) {
+		t.Fatalf("swallowing insert: %v, want %v", ss.all(), want)
+	}
+}
+
+func TestSpanSetIgnoresEmpty(t *testing.T) {
+	var ss spanSet
+	ss.add(tdlcheck.Span{Addr: 10, Bytes: 0})
+	ss.add(tdlcheck.Span{Addr: 10, Bytes: -4})
+	if len(ss.all()) != 0 {
+		t.Fatalf("empty spans must be ignored, got %v", ss.all())
+	}
+}
+
+// TestSpanSetMatchesNaive drives the set with random spans and checks the
+// invariants (sorted, disjoint, non-adjacent) and coverage against a naive
+// byte map.
+func TestSpanSetMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ss spanSet
+	covered := map[phys.Addr]bool{}
+	for i := 0; i < 500; i++ {
+		addr := phys.Addr(rng.Intn(4096))
+		n := units.Bytes(rng.Intn(64) + 1)
+		ss.add(tdlcheck.Span{Addr: addr, Bytes: n})
+		for b := addr; b < addr+phys.Addr(n); b++ {
+			covered[b] = true
+		}
+	}
+	spans := ss.all()
+	if !sort.SliceIsSorted(spans, func(i, j int) bool { return spans[i].Addr < spans[j].Addr }) {
+		t.Fatal("span set not sorted")
+	}
+	var total units.Bytes
+	for i, sp := range spans {
+		if sp.Bytes <= 0 {
+			t.Fatalf("empty span in set: %v", sp)
+		}
+		if i > 0 {
+			prev := spans[i-1]
+			if prev.Addr+phys.Addr(prev.Bytes) >= sp.Addr {
+				t.Fatalf("spans %v and %v overlap or touch", prev, sp)
+			}
+		}
+		for b := sp.Addr; b < sp.Addr+phys.Addr(sp.Bytes); b++ {
+			if !covered[b] {
+				t.Fatalf("byte %v in set but never added", b)
+			}
+		}
+		total += sp.Bytes
+	}
+	if int(total) != len(covered) {
+		t.Fatalf("set covers %d bytes, naive map says %d", total, len(covered))
+	}
+}

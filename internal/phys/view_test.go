@@ -1,0 +1,224 @@
+package phys
+
+import (
+	"testing"
+
+	"mealib/internal/units"
+)
+
+// viewSpace maps two adjacent regions so that spans can straddle the seam,
+// plus a gap after them.
+func viewSpace(t *testing.T) *Space {
+	t.Helper()
+	s := NewSpace(1 * units.MiB)
+	if _, err := s.Map(0x1000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Map(0x2000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestViewFloat32sAliasesRegion(t *testing.T) {
+	s := viewSpace(t)
+	if err := s.StoreFloat32s(0x1000, []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ViewFloat32s(0x1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Aliased() {
+		t.Fatal("aligned single-region span must alias")
+	}
+	if v.Data[2] != 3 {
+		t.Fatalf("view read = %v, want 3", v.Data[2])
+	}
+	// Writes through the view are visible without Commit.
+	v.Data[0] = 42
+	got, err := s.ReadFloat32(0x1000)
+	if err != nil || got != 42 {
+		t.Fatalf("after view write: ReadFloat32 = %v, %v; want 42", got, err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewFloat32sUnalignedFallsBack(t *testing.T) {
+	s := viewSpace(t)
+	if err := s.StoreFloat32s(0x1000, []float32{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	// 0x1002 is not 4-byte aligned: the view must copy, and Commit must
+	// write back.
+	v, err := s.ViewFloat32s(0x1002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Aliased() {
+		t.Fatal("misaligned span must not alias")
+	}
+	v.Data[0] = 7
+	// Not committed yet: the space still holds the old bytes.
+	raw, err := s.ViewBytes(0x1002, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), raw...)
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.ViewBytes(0x1002, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Commit did not write the copy back")
+	}
+}
+
+func TestViewStraddlingRegionsFallsBack(t *testing.T) {
+	s := viewSpace(t)
+	want := []float32{10, 20, 30, 40}
+	// 0x1FF8..0x2008 straddles the region seam at 0x2000.
+	if err := s.StoreFloat32s(0x1ff8, want[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StoreFloat32s(0x2000, want[2:]); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ViewFloat32s(0x1ff8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Aliased() {
+		t.Fatal("region-straddling span must not alias")
+	}
+	for i := range want {
+		if v.Data[i] != want[i] {
+			t.Fatalf("straddling view[%d] = %v, want %v", i, v.Data[i], want[i])
+		}
+	}
+	v.Data[1] = -1
+	v.Data[2] = -2
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.ReadFloat32(0x1ffc)
+	if err != nil || a != -1 {
+		t.Fatalf("write-back below seam = %v, %v; want -1", a, err)
+	}
+	b, err := s.ReadFloat32(0x2000)
+	if err != nil || b != -2 {
+		t.Fatalf("write-back above seam = %v, %v; want -2", b, err)
+	}
+}
+
+func TestViewUnmappedFails(t *testing.T) {
+	s := viewSpace(t)
+	if _, err := s.ViewFloat32s(0x8000, 4); err == nil {
+		t.Fatal("view of unmapped span must fail")
+	}
+	// A span running past the last mapped byte must also fail, even though
+	// it starts inside a region.
+	if _, err := s.ViewFloat32s(0x2ffc, 2); err == nil {
+		t.Fatal("view crossing into unmapped space must fail")
+	}
+}
+
+func TestViewComplex64s(t *testing.T) {
+	s := viewSpace(t)
+	want := []complex64{complex(1, 2), complex(3, 4)}
+	if err := s.StoreComplex64s(0x1000, want); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ViewComplex64s(0x1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if v.Data[i] != want[i] {
+			t.Fatalf("complex view[%d] = %v, want %v", i, v.Data[i], want[i])
+		}
+	}
+	v.Data[0] = complex(9, 9)
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadComplex64s(0x1000, 1)
+	if err != nil || got[0] != complex(9, 9) {
+		t.Fatalf("after commit = %v, %v; want (9+9i)", got, err)
+	}
+}
+
+func TestViewInt32s(t *testing.T) {
+	s := viewSpace(t)
+	if err := s.WriteInt32s(0x1000, []int32{-5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ViewInt32s(0x1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data[0] != -5 || v.Data[1] != 6 {
+		t.Fatalf("int view = %v, want [-5 6]", v.Data)
+	}
+	v.Data[1] = 100
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadInt32s(0x1004, 1)
+	if err != nil || got[0] != 100 {
+		t.Fatalf("after commit = %v, %v; want 100", got, err)
+	}
+}
+
+func TestRegionTypedAccessors(t *testing.T) {
+	s := NewSpace(1 * units.MiB)
+	r, err := s.Map(0x0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StoreFloat32s(0, []float32{1.5}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := r.Float32s()
+	if !ok || len(f) != 16 || f[0] != 1.5 {
+		t.Fatalf("Region.Float32s = %v (ok=%v)", f, ok)
+	}
+	c, ok := r.Complex64s()
+	if !ok || len(c) != 8 {
+		t.Fatalf("Region.Complex64s len = %d (ok=%v), want 8", len(c), ok)
+	}
+	i32, ok := r.Int32s()
+	if !ok || len(i32) != 16 {
+		t.Fatalf("Region.Int32s len = %d (ok=%v), want 16", len(i32), ok)
+	}
+	// Mutations through a region view are visible to space accessors.
+	f[1] = 2.5
+	got, err := s.ReadFloat32(4)
+	if err != nil || got != 2.5 {
+		t.Fatalf("after region view write = %v, %v; want 2.5", got, err)
+	}
+}
+
+func TestSpanMapped(t *testing.T) {
+	s := viewSpace(t)
+	if !s.SpanMapped(0x1ff0, 0x20) {
+		t.Error("span across the seam of two mapped regions must count as mapped")
+	}
+	if s.SpanMapped(0x2ff0, 0x20) {
+		t.Error("span running off the last region must not count as mapped")
+	}
+	if s.SpanMapped(0x4000, 1) {
+		t.Error("unmapped address must not count as mapped")
+	}
+}

@@ -64,6 +64,14 @@ func WithHost(h *cpu.Host) Option {
 	return func(c *mealibrt.Config) { c.Host = h }
 }
 
+// WithWorkers sets the worker-pool size the functional interpreter fans
+// independent LOOP iterations across: 0 selects min(GOMAXPROCS, tiles), 1
+// restores serial execution. Parallel and serial runs produce byte-identical
+// buffers and identical reports.
+func WithWorkers(n int) Option {
+	return func(c *mealibrt.Config) { c.Workers = n }
+}
+
 // AcceleratorConfig returns the paper's accelerator layer configuration for
 // customisation with WithAccelerator.
 func AcceleratorConfig() *accel.Config { return accel.MEALibConfig() }
