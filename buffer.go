@@ -149,11 +149,11 @@ func (b *Int32Buffer) Set(v []int32) error {
 	if len(v) > b.n {
 		return errorf("Set of %d elements into %d-element buffer", len(v), b.n)
 	}
-	return b.buf.WriteInt32s(0, v)
+	return b.buf.StoreInt32s(0, v)
 }
 
 // All copies out the whole buffer.
-func (b *Int32Buffer) All() ([]int32, error) { return b.buf.ReadInt32s(0, b.n) }
+func (b *Int32Buffer) All() ([]int32, error) { return b.buf.LoadInt32s(0, b.n) }
 
 func (b *Int32Buffer) addr() phys.Addr { return b.buf.PA() }
 

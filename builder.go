@@ -191,5 +191,31 @@ func (ip *InstalledPlan) Execute() (*Run, error) {
 	return runOf(inv), nil
 }
 
+// PendingRun is an in-flight plan execution started by Submit.
+type PendingRun struct {
+	pi *mealibrt.PendingInvocation
+}
+
+// Wait blocks until the flight completes and returns its Run.
+func (pr *PendingRun) Wait() (*Run, error) {
+	inv, err := pr.pi.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return runOf(inv), nil
+}
+
+// Submit launches the plan without waiting for it. The runtime admits a
+// flight only once its buffers no longer overlap any in-flight plan's, so
+// plans over disjoint data execute concurrently while conflicting plans
+// serialise — results are identical either way.
+func (ip *InstalledPlan) Submit() (*PendingRun, error) {
+	pi, err := ip.p.Submit()
+	if err != nil {
+		return nil, err
+	}
+	return &PendingRun{pi: pi}, nil
+}
+
 // Destroy releases the command-space allocation.
 func (ip *InstalledPlan) Destroy() error { return ip.p.Destroy() }

@@ -14,7 +14,18 @@ go vet ./...
 echo "==> go run ./cmd/mealint ./..."
 go run ./cmd/mealint ./...
 
+echo "==> scheduler differentials (serial vs wavefront, both paths, -race)"
+go test -race -run 'Differential|Submit|ExplainPlan|PlanInterleaves' \
+	./internal/accel ./internal/mealibrt
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> mealib-bench -micro smoke (AXPY, scheduler on/off)"
+microdir=$(mktemp -d)
+trap 'rm -rf "$microdir"' EXIT
+go run ./cmd/mealib-bench -micro "$microdir" -ops AXPY >/dev/null
+test -s "$microdir/BENCH_AXPY.json"
+grep -q speedup_vs_serial "$microdir/BENCH_AXPY.json"
 
 echo "check.sh: all gates passed"

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mealib/internal/exp"
 )
@@ -29,6 +30,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON instead of text tables")
 	micro := flag.String("micro", "", "run the functional-path micro-benchmarks and write BENCH_<op>.json files into this directory")
 	workers := flag.Int("workers", 0, "accelerator worker-pool size for -micro (0 = auto, 1 = serial)")
+	opsFlag := flag.String("ops", "", "comma-separated op filter for -micro (e.g. AXPY,FFT); empty = all ops")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -69,7 +71,13 @@ func main() {
 
 	switch {
 	case *micro != "":
-		rows, err := exp.MicroBenchmarks(*workers)
+		var ops []string
+		for _, op := range strings.Split(*opsFlag, ",") {
+			if op = strings.TrimSpace(op); op != "" {
+				ops = append(ops, op)
+			}
+		}
+		rows, err := exp.MicroBenchmarks(*workers, ops...)
 		if err != nil {
 			fail(err)
 		}

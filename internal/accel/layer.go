@@ -152,8 +152,49 @@ func (l *Layer) RunModel(d *descriptor.Descriptor) (*Report, error) {
 	return rep, nil
 }
 
-// interpret walks the instruction stream with the given comp evaluator.
+// interpret lowers the descriptor into the execution-plan IR (plan.go) and
+// runs it with the wavefront scheduler (sched.go). Oversized expansions —
+// LOOP trip counts past planMaxNodes — stream through the legacy loop
+// executor instead of materialising the DAG.
 func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc) (*Report, error) {
+	p, err := l.buildPlan(d, planExpand)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return l.interpretStream(d, exec)
+	}
+	return l.runPlan(p, exec)
+}
+
+// interpretModel is interpret through the same plan IR and scheduler, with
+// the analytic evaluator and O(1) loops: each LOOP collapses to one
+// representative node per body pass, scaled by the trip count (every
+// iteration of a hardware loop has identical cost; only addresses differ).
+func (l *Layer) interpretModel(d *descriptor.Descriptor) (*Report, error) {
+	model := func(op descriptor.OpCode, p descriptor.Params, _ IterVec) (Work, error) {
+		return WorkOf(op, p)
+	}
+	p, err := l.buildPlan(d, planCollapse)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		// Unreachable for descriptors that passed CheckCapacity (collapse
+		// never exceeds the instruction count), but stay total.
+		return l.interpretStream(d, model)
+	}
+	return l.runPlan(p, model)
+}
+
+// interpretStream is the pre-IR walker: it executes the instruction stream
+// directly, loop iteration by loop iteration, fanning independent LOOPs
+// over the worker pool (all-or-nothing). It remains as the memory-bounded
+// fallback for descriptors whose plan expansion would exceed planMaxNodes;
+// the choice between it and the scheduler depends only on the descriptor,
+// so serial and parallel runs of the same descriptor always take the same
+// path and stay bit-identical.
+func (l *Layer) interpretStream(d *descriptor.Descriptor, exec execFunc) (*Report, error) {
 	rep := newReport()
 	var pass []passInstr
 	var loopPasses [][]passInstr
@@ -186,74 +227,6 @@ func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc) (*Report, err
 		case descriptor.KindEndLoop:
 			if err := l.runLoop(exec, loopCounts, loopPasses, rep); err != nil {
 				return nil, err
-			}
-			inLoop = false
-			loopPasses = nil
-		}
-	}
-	return rep, nil
-}
-
-// interpretModel is interpret with the analytic evaluator and O(1) loops:
-// one representative iteration is evaluated and scaled by the trip count
-// (every iteration of a hardware loop has identical cost; only addresses
-// differ).
-func (l *Layer) interpretModel(d *descriptor.Descriptor) (*Report, error) {
-	rep := newReport()
-	var pass []passInstr
-	var loopPasses [][]passInstr
-	inLoop := false
-	var loopCounts descriptor.LoopCounts
-	comp := 0
-	model := func(op descriptor.OpCode, p descriptor.Params, _ IterVec) (Work, error) {
-		return WorkOf(op, p)
-	}
-	for _, in := range d.Instrs {
-		switch in.Kind {
-		case descriptor.KindComp:
-			params, err := d.ParamsOf(comp)
-			comp++
-			if err != nil {
-				return nil, err
-			}
-			pass = append(pass, passInstr{op: in.Op, params: params})
-		case descriptor.KindEndPass:
-			if inLoop {
-				loopPasses = append(loopPasses, pass)
-			} else {
-				rep.Time += l.cfg.PassConfigLatency
-				if err := l.runPass(model, pass, IterVec{}, rep); err != nil {
-					return nil, err
-				}
-			}
-			pass = nil
-		case descriptor.KindLoop:
-			inLoop = true
-			loopCounts = in.Counts
-			loopPasses = nil
-		case descriptor.KindEndLoop:
-			iters := loopCounts.Total()
-			// Accelerators in the loop body are configured once (paper
-			// §2.2); each iteration pays only the dispatch latency.
-			rep.Time += l.cfg.PassConfigLatency * units.Seconds(len(loopPasses))
-			one := newReport()
-			for _, p := range loopPasses {
-				if err := l.runPass(model, p, IterVec{}, one); err != nil {
-					return nil, err
-				}
-			}
-			one.Time += l.iterDispatch()
-			rep.Time += one.Time * units.Seconds(iters)
-			rep.Energy += one.Energy * units.Joules(iters)
-			rep.Comps += one.Comps * iters
-			rep.NoCBytes += one.NoCBytes * units.Bytes(iters)
-			for op, st := range one.PerOp {
-				agg := rep.opStats(op)
-				agg.Invocations += st.Invocations * iters
-				agg.Time += st.Time * units.Seconds(iters)
-				agg.Energy += st.Energy * units.Joules(iters)
-				agg.Flops += st.Flops * units.Flops(iters)
-				agg.Bytes += st.Bytes * units.Bytes(iters)
 			}
 			inLoop = false
 			loopPasses = nil

@@ -23,6 +23,10 @@ import (
 type LinkController struct {
 	mu    sync.Mutex
 	owner linkOwner
+	// holds counts concurrent accelerator-side holders (shared
+	// acquisition): ownership returns to the host when the last in-flight
+	// descriptor releases.
+	holds int64
 	// transfers counts ownership handovers (diagnostics).
 	transfers int64
 }
@@ -35,9 +39,10 @@ const (
 	ownerAccelerators
 )
 
-// AcquireForAccelerators transfers DRAM ownership to the accelerator side.
-// It fails if the accelerators already own the link (nested acquisition
-// means a runtime bug: descriptors execute one at a time).
+// AcquireForAccelerators transfers exclusive DRAM ownership to the
+// accelerator side. It fails if the accelerators already own the link
+// (nested exclusive acquisition means a runtime bug: use AcquireShared for
+// concurrent in-flight descriptors).
 func (lc *LinkController) AcquireForAccelerators() error {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
@@ -45,6 +50,7 @@ func (lc *LinkController) AcquireForAccelerators() error {
 		return fmt.Errorf("accel: link controller already owned by accelerators")
 	}
 	lc.owner = ownerAccelerators
+	lc.holds = 1
 	lc.transfers++
 	return nil
 }
@@ -57,7 +63,38 @@ func (lc *LinkController) ReleaseToHost() error {
 		return fmt.Errorf("accel: link controller not owned by accelerators")
 	}
 	lc.owner = ownerHost
+	lc.holds = 0
 	lc.transfers++
+	return nil
+}
+
+// AcquireShared takes (or joins) accelerator-side ownership for one
+// in-flight descriptor. The first holder transfers ownership away from the
+// host; further holders pile on. The span-conflict admission in the
+// runtime guarantees concurrent holders touch disjoint data.
+func (lc *LinkController) AcquireShared() {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.holds == 0 {
+		lc.owner = ownerAccelerators
+		lc.transfers++
+	}
+	lc.holds++
+}
+
+// ReleaseShared drops one shared hold; the last release hands ownership
+// back to the host.
+func (lc *LinkController) ReleaseShared() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.owner != ownerAccelerators || lc.holds == 0 {
+		return fmt.Errorf("accel: link controller not owned by accelerators")
+	}
+	lc.holds--
+	if lc.holds == 0 {
+		lc.owner = ownerHost
+		lc.transfers++
+	}
 	return nil
 }
 

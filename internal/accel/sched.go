@@ -1,0 +1,151 @@
+package accel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mealib/internal/units"
+)
+
+// Wavefront scheduler over the execution-plan IR (plan.go). Nodes execute
+// in topological waves: wave w starts only after wave w-1 completed, and
+// within a wave every node is pairwise independent (conflicting nodes are
+// ordered by dependence edges, and waves strictly increase along edges).
+// Independent work therefore runs concurrently on the worker pool while
+// dependent work pipelines wave by wave — an SPMV loop's serial chain
+// interleaves with unrelated passes instead of serialising the whole
+// descriptor.
+//
+// Determinism: each node builds a private sub-report; sub-reports merge in
+// node (program) order regardless of which goroutine ran which node, and
+// memory effects are ordered by the edges. Serial (Workers=1) and
+// scheduled runs are therefore bit-identical in both memory and Report.
+
+// planWorkers sizes the pool for a plan: cfg.Workers if set (1 forces
+// serial), else min(GOMAXPROCS, Tiles), never wider than the plan's widest
+// wave.
+func (l *Layer) planWorkers(p *plan) int {
+	w := l.cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > l.cfg.Tiles {
+			w = l.cfg.Tiles
+		}
+	}
+	if w > p.maxWidth {
+		w = p.maxWidth
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runNode executes one node into a fresh sub-report: the pass datapath at
+// the node's iteration, the iteration-dispatch charge if the node closes
+// an iteration, and the model-collapse scale.
+func (l *Layer) runNode(exec execFunc, nd *planNode) (*Report, error) {
+	sub := newReport()
+	if err := l.runPass(exec, nd.pass, nd.it, sub); err != nil {
+		return nil, err
+	}
+	if nd.dispatch {
+		sub.Time += l.iterDispatch()
+	}
+	if nd.scale > 1 {
+		sub.scale(nd.scale)
+	}
+	return sub, nil
+}
+
+// scale multiplies every accumulated quantity by n (a model-collapsed
+// node stands for n identical iterations).
+func (r *Report) scale(n int64) {
+	r.Time *= units.Seconds(n)
+	r.Energy *= units.Joules(n)
+	r.Comps *= n
+	r.NoCBytes *= units.Bytes(n)
+	r.LMSpillBytes *= units.Bytes(n)
+	r.RemoteBytes *= units.Bytes(n)
+	for _, st := range r.PerOp {
+		st.Invocations *= n
+		st.Time *= units.Seconds(n)
+		st.Energy *= units.Joules(n)
+		st.Flops *= units.Flops(n)
+		st.Bytes *= units.Bytes(n)
+	}
+}
+
+// runPlan executes the plan with the given evaluator and returns the
+// merged report. The first error in node order wins, matching what serial
+// execution would have returned.
+func (l *Layer) runPlan(p *plan, exec execFunc) (*Report, error) {
+	rep := newReport()
+	rep.Time += p.fixed
+	workers := l.planWorkers(p)
+	if workers <= 1 {
+		// Serial: node order is a topological order (edges always point
+		// forward), so in-order execution respects every edge.
+		for k := range p.nodes {
+			sub, err := l.runNode(exec, &p.nodes[k])
+			if err != nil {
+				return nil, err
+			}
+			rep.merge(sub)
+		}
+		return rep, nil
+	}
+	subs := make([]*Report, len(p.nodes))
+	errs := make([]error, len(p.nodes))
+	failed := false
+	for _, wave := range p.waves {
+		if len(wave) == 1 {
+			// Single-node waves run inline: a serial chain (SPMV loop,
+			// chained passes) must not pay goroutine hand-off per node.
+			k := wave[0]
+			subs[k], errs[k] = l.runNode(exec, &p.nodes[k])
+		} else {
+			w := workers
+			if w > len(wave) {
+				w = len(wave)
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						pos := next.Add(1) - 1
+						if pos >= int64(len(wave)) {
+							return
+						}
+						k := wave[pos]
+						subs[k], errs[k] = l.runNode(exec, &p.nodes[k])
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		for _, k := range wave {
+			if errs[k] != nil {
+				failed = true
+			}
+		}
+		if failed {
+			// Dependents of the failed node must not run; later waves are
+			// abandoned wholesale (conservative, still deterministic).
+			break
+		}
+	}
+	for k := range p.nodes {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		if subs[k] != nil {
+			rep.merge(subs[k])
+		}
+	}
+	return rep, nil
+}

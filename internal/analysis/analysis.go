@@ -15,6 +15,8 @@
 //   - unitsafe: quantities named like physical units but typed as bare
 //     numerics where internal/units types exist;
 //   - locksafe: mutex-guarded struct fields accessed without the lock;
+//   - wgadd: sync.WaitGroup.Add inside the goroutine it accounts for (the
+//     schedulers rely on the Add-before-go protocol);
 //   - detrand: wall-clock time and unseeded randomness inside the
 //     deterministic simulator packages.
 //
@@ -73,6 +75,7 @@ func Analyzers() []Analyzer {
 		floateq{},
 		unitsafe{},
 		locksafe{},
+		wgadd{},
 		detrand{},
 	}
 }

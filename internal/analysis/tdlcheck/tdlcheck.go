@@ -692,3 +692,30 @@ func Writes(d *descriptor.Descriptor) ([]Span, error) {
 	}
 	return out, nil
 }
+
+// Reads returns the buffer spans a descriptor's task graph reads, extended
+// over its hardware loops — what concurrent in-flight executions must not
+// overwrite while the descriptor runs. The descriptor must be valid.
+func Reads(d *descriptor.Descriptor) ([]Span, error) {
+	if d == nil {
+		return nil, fmt.Errorf("tdlcheck: nil descriptor")
+	}
+	comps, err := descriptorComps(d)
+	if err != nil {
+		return nil, err
+	}
+	var out []Span
+	for _, c := range comps {
+		params, perr := d.ParamsOf(c.idx)
+		if perr != nil {
+			return nil, perr
+		}
+		ops := operandsOf(c.op, params, c.counts, func(string, ...interface{}) {})
+		for _, op := range ops {
+			if op.acc&accRead != 0 {
+				out = append(out, op.ext)
+			}
+		}
+	}
+	return out, nil
+}

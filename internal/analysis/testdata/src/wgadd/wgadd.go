@@ -1,0 +1,88 @@
+// Package wgadd is analyzer test data: sync.WaitGroup.Add calls made
+// inside the goroutine they account for.
+package wgadd
+
+import "sync"
+
+// addInsideGoroutine is the canonical race: the loop can finish spawning
+// and reach Wait before any goroutine has run its Add.
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want `wg\.Add inside the goroutine it accounts for`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// pool carries a WaitGroup behind a pointer; the field path must still
+// resolve to the captured variable.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func addViaStructField(p *pool) {
+	go func() {
+		p.wg.Add(1) // want `p\.wg\.Add inside the goroutine it accounts for`
+		defer p.wg.Done()
+	}()
+	p.wg.Wait()
+}
+
+// addViaParam passes the WaitGroup into the literal explicitly; the Add
+// still runs on the spawned side of the go statement.
+func addViaParam() {
+	var wg sync.WaitGroup
+	go func(g *sync.WaitGroup) {
+		g.Add(1) // want `g\.Add inside the goroutine it accounts for`
+		defer g.Done()
+	}(&wg)
+	wg.Wait()
+}
+
+// addBeforeGo is the protocol the schedulers follow: never flagged.
+func addBeforeGo(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// ownWaitGroup creates the group inside the goroutine that waits on it;
+// its Add calls are spawner-side one level down and stay clean.
+func ownWaitGroup(work []func()) {
+	go func() {
+		var wg sync.WaitGroup
+		for _, fn := range work {
+			fn := fn
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fn()
+			}()
+		}
+		wg.Wait()
+	}()
+}
+
+// nestedSpawner judges each Add against its innermost goroutine: the inner
+// literal's Add on the outer group is the violation, the outer body's own
+// Add is fine.
+func nestedSpawner() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		go func() {
+			wg.Add(1) // want `wg\.Add inside the goroutine it accounts for`
+			defer wg.Done()
+		}()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// wgadd flags sync.WaitGroup.Add calls made inside the goroutine they
+// account for. The execution engine leans on the Add-before-go protocol
+// (sched.go, the exp worker pool, the tile loop): the spawner increments the
+// counter, the goroutine only ever calls Done. When Add instead runs inside
+// the spawned function, the spawner can reach Wait before the goroutine is
+// scheduled, see a zero counter, and return while work is still in flight —
+// a race the detector only reports when the interleaving actually happens.
+//
+// A WaitGroup created inside the goroutine's own body is exempt: that
+// goroutine owns the group and waits on it itself, so its Add calls are
+// ordinary spawner-side Adds one level down.
+type wgadd struct{}
+
+func (wgadd) Name() string { return "wgadd" }
+
+func (wgadd) Doc() string {
+	return "sync.WaitGroup.Add inside the goroutine it accounts for"
+}
+
+func (wgadd) Run(p *Pkg) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			out = append(out, wgaddCheckGoroutine(p, fl)...)
+			return true
+		})
+	}
+	return out
+}
+
+// wgaddCheckGoroutine reports every WaitGroup.Add inside one spawned
+// function literal whose WaitGroup is not created in that literal's body.
+// Nested go statements are skipped: the file walk visits them separately,
+// judging each Add against its innermost spawning goroutine.
+func wgaddCheckGoroutine(p *Pkg, fl *ast.FuncLit) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.GoStmt); ok {
+			if _, isLit := unparen(inner.Call.Fun).(*ast.FuncLit); isLit {
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isWaitGroupAdd(p, sel) {
+			return true
+		}
+		if obj := wgaddBaseObject(p, sel.X); obj != nil &&
+			obj.Pos() >= fl.Body.Pos() && obj.Pos() < fl.Body.End() {
+			return true // the goroutine's own WaitGroup
+		}
+		out = append(out, Diagnostic{
+			Pos:      p.Position(sel.Sel.Pos()),
+			Analyzer: "wgadd",
+			Message: fmt.Sprintf("%s.Add inside the goroutine it accounts for; the spawner can pass Wait before this runs — call Add before the go statement",
+				types.ExprString(unparen(sel.X))),
+		})
+		return true
+	})
+	return out
+}
+
+// isWaitGroupAdd reports whether sel is a method selection of
+// sync.WaitGroup.Add.
+func isWaitGroupAdd(p *Pkg, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Add" {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// wgaddBaseObject resolves the root identifier of a selector chain
+// (wg, r.wg, p.inner.wg) to its declared object, or nil.
+func wgaddBaseObject(p *Pkg, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return p.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package descriptor
+
+import (
+	"testing"
+
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// The decoder must reject every header whose self-described layout is
+// inconsistent with the encoded bytes, instead of fetching past the image.
+
+func encodedDescriptor(t *testing.T) (*phys.Space, *Descriptor) {
+	t.Helper()
+	s := space(t)
+	d := simpleDescriptor(t)
+	if err := d.Encode(s, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestDecodeRejectsTruncatedInstrRegion(t *testing.T) {
+	s, _ := encodedDescriptor(t)
+	// Claim far more instructions than the total size covers.
+	if err := s.WriteUint32(0x1000+headerOffNInstr, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, 0x1000); err == nil {
+		t.Error("decode must reject an instruction region past the total size")
+	}
+}
+
+func TestDecodeRejectsShortTotal(t *testing.T) {
+	s, _ := encodedDescriptor(t)
+	// Total smaller than the control region itself.
+	if err := s.WriteUint64(0x1000+headerOffTotal, crSize-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, 0x1000); err == nil {
+		t.Error("decode must reject a total below the control-region size")
+	}
+	// Total covering the CR but not the instruction region.
+	if err := s.WriteUint64(0x1000+headerOffTotal, crSize+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, 0x1000); err == nil {
+		t.Error("decode must reject a total that truncates the instruction region")
+	}
+}
+
+func TestDecodeRejectsWrappingOrOversizedTotal(t *testing.T) {
+	s, _ := encodedDescriptor(t)
+	if err := s.WriteUint64(0x1000+headerOffTotal, ^uint64(0)-16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, 0x1000); err == nil {
+		t.Error("decode must reject a total that wraps the address space")
+	}
+	if err := s.WriteUint64(0x1000+headerOffTotal, uint64(s.Size())+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, 0x1000); err == nil {
+		t.Error("decode must reject a total larger than the physical space")
+	}
+}
+
+func TestDecodeRejectsInconsistentPRBase(t *testing.T) {
+	s, _ := encodedDescriptor(t)
+	prBase, err := s.ReadUint64(0x1000 + headerOffPRBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteUint64(0x1000+headerOffPRBase, prBase+8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, 0x1000); err == nil {
+		t.Error("decode must reject a PR base that disagrees with the instruction count")
+	}
+}
+
+func TestDecodeRejectsParamBlockOutsideImage(t *testing.T) {
+	// The first COMP's parameter pointer lives at instruction offset +8.
+	const paddrOff = crSize + 8
+	s, _ := encodedDescriptor(t)
+	// Before the parameter region.
+	if err := s.WriteUint64(0x1000+paddrOff, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, 0x1000); err == nil {
+		t.Error("decode must reject a parameter block before the PR")
+	}
+	// Past the end of the image.
+	s2, _ := encodedDescriptor(t)
+	total, err := s2.ReadUint64(0x1000 + headerOffTotal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteUint64(0x1000+paddrOff, 0x1000+total); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s2, 0x1000); err == nil {
+		t.Error("decode must reject a parameter block past the image end")
+	}
+	// In range but with a size that runs over the end.
+	s3, _ := encodedDescriptor(t)
+	if err := s3.WriteUint32(0x1000+crSize+4, uint32(total)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s3, 0x1000); err == nil {
+		t.Error("decode must reject a parameter size overrunning the image")
+	}
+	// A size below the field-count word alone.
+	s4, _ := encodedDescriptor(t)
+	if err := s4.WriteUint32(0x1000+crSize+4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s4, 0x1000); err == nil {
+		t.Error("decode must reject a parameter size below the header word")
+	}
+}
+
+// FuzzDecode flips bytes anywhere in a valid encoded image and demands the
+// decoder either reject the image or return a descriptor that passes
+// Validate — never panic, never fabricate structure from garbage.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0), uint64(0))
+	f.Add(uint32(headerOffNInstr), uint64(1)<<40)
+	f.Add(uint32(headerOffPRBase), uint64(8))
+	f.Add(uint32(headerOffTotal), uint64(3))
+	f.Add(uint32(crSize), uint64(0xff))         // first instruction kind
+	f.Add(uint32(crSize+4), uint64(0xffffffff)) // first instruction count
+	f.Add(uint32(crSize+8), uint64(1)<<33)      // first parameter pointer
+	f.Fuzz(func(t *testing.T, off uint32, val uint64) {
+		s := phys.NewSpace(16 * units.MiB)
+		if _, err := s.Map(0x1000, 1*units.MiB); err != nil {
+			t.Fatal(err)
+		}
+		d := &Descriptor{}
+		if err := d.AddLoop(3); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddComp(OpAXPY, Params{64, F32Field(2), AddrField(0x2000), AddrField(0x3000), 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+		d.AddEndPass()
+		d.AddEndLoop()
+		if err := d.Encode(s, 0x1000); err != nil {
+			t.Fatal(err)
+		}
+		size := uint64(d.Size())
+		at := uint64(off) % size
+		n := 8
+		if rem := size - at; rem < 8 {
+			n = int(rem)
+		}
+		b, err := s.ViewBytes(0x1000+phys.Addr(at), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			b[i] ^= byte(val >> (8 * i))
+		}
+		dec, err := Decode(s, 0x1000)
+		if val == 0 {
+			// XOR with zero leaves the image intact: must round-trip.
+			if err != nil {
+				t.Fatalf("unmutated image failed to decode: %v", err)
+			}
+		}
+		if err != nil {
+			return // rejected: the decoder did its job
+		}
+		if err := dec.Validate(); err != nil {
+			t.Errorf("decode accepted an image whose descriptor fails Validate: %v", err)
+		}
+	})
+}

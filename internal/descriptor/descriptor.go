@@ -381,6 +381,36 @@ func Decode(s *phys.Space, base phys.Addr) (*Descriptor, error) {
 	if err != nil {
 		return nil, err
 	}
+	prBase64, err := s.ReadUint64(base + headerOffPRBase)
+	if err != nil {
+		return nil, err
+	}
+	total64, err := s.ReadUint64(base + headerOffTotal)
+	if err != nil {
+		return nil, err
+	}
+	// Byte-layout bounds: the header's self-described region sizes must be
+	// mutually consistent before any offset derived from them is
+	// dereferenced, so a truncated or corrupted image is rejected here
+	// rather than fetched from whatever happens to live past its end.
+	if total64 > ^uint64(0)-uint64(base) {
+		return nil, fmt.Errorf("descriptor: total size %d wraps the address space at %v", total64, base)
+	}
+	if total64 > uint64(s.Size()) {
+		return nil, fmt.Errorf("descriptor: total size %d exceeds the physical space (%v)", total64, s.Size())
+	}
+	if total64 < crSize {
+		return nil, fmt.Errorf("descriptor: total size %d does not cover the %d-byte control region", total64, crSize)
+	}
+	irBytes := uint64(nInstr) * instrSize
+	if irBytes > total64-crSize {
+		return nil, fmt.Errorf("descriptor: truncated instruction region: %d instructions need %d bytes, %d remain after the control region", nInstr, irBytes, total64-crSize)
+	}
+	prStart := uint64(base) + crSize + irBytes
+	if prBase64 != prStart {
+		return nil, fmt.Errorf("descriptor: PR base %#x inconsistent with %d instructions (want %#x)", prBase64, nInstr, prStart)
+	}
+	end := uint64(base) + total64
 	d := &Descriptor{}
 	for i := 0; i < int(nInstr); i++ {
 		at := base + phys.Addr(crSize+instrSize*i)
@@ -399,13 +429,18 @@ func Decode(s *phys.Space, base phys.Addr) (*Descriptor, error) {
 		in := Instruction{Kind: InstrKind(word0 & 0xff), Op: OpCode(word0 >> 8 & 0xff)}
 		switch in.Kind {
 		case KindComp:
+			if count < 4 || paddr64 < prStart || paddr64 > end || uint64(count) > end-paddr64 {
+				return nil, fmt.Errorf("descriptor: instruction %d: parameter block %#x+%d outside the parameter region [%#x,%#x)", i, paddr64, count, prStart, end)
+			}
 			in.ParamAddr = phys.Addr(paddr64)
 			in.ParamSize = count
 			nFields, err := s.ReadUint32(in.ParamAddr)
 			if err != nil {
 				return nil, err
 			}
-			if 4+8*nFields != count {
+			// 64-bit arithmetic: a huge corrupted field count must not wrap
+			// back onto a plausible size and drive the allocation below.
+			if 4+8*uint64(nFields) != uint64(count) {
 				return nil, fmt.Errorf("descriptor: instruction %d: parameter size %d inconsistent with field count %d", i, count, nFields)
 			}
 			p := make(Params, nFields)

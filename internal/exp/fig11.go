@@ -44,28 +44,41 @@ const (
 // spreads the efficiency range in the paper's Figure 11a.
 func FFTDesignSpace() []DesignPoint {
 	const flopsPerByte = 2.7
-	var out []DesignPoint
+	// Enumerate the configurations first, then evaluate them on the worker
+	// pool into indexed slots — the sweep order stays deterministic.
+	type fftCfg struct {
+		freq  units.Hertz
+		cores int
+		row   units.Bytes
+	}
+	var cfgs []fftCfg
 	for _, freq := range []units.Hertz{0.8 * units.GHz, 1.2 * units.GHz, 1.6 * units.GHz, 2.0 * units.GHz} {
 		for _, cores := range []int{1, 2, 4, 8} {
 			for _, row := range []units.Bytes{128, 256, 512} {
-				// Butterfly datapath: 8 flops/cycle per core.
-				compute := float64(fig11Tiles) * float64(cores) * 8 * float64(freq)
-				// Small rows cost extra activates: effective bandwidth drops.
-				rowEff := 0.75 + 0.25*float64(row)/512
-				memBound := fig11StreamBW * rowEff * flopsPerByte
-				perf := compute
-				if memBound < perf {
-					perf = memBound
-				}
-				bwUsed := perf / flopsPerByte
-				power := fftPower(freq, cores, row, bwUsed)
-				out = append(out, DesignPoint{
-					Freq: freq, CoresPerTile: cores, RowBytes: row,
-					Perf: units.FlopsPerSec(perf), Power: power,
-				})
+				cfgs = append(cfgs, fftCfg{freq, cores, row})
 			}
 		}
 	}
+	out := make([]DesignPoint, len(cfgs))
+	_ = forEachIndexed(len(cfgs), func(i int) error {
+		c := cfgs[i]
+		// Butterfly datapath: 8 flops/cycle per core.
+		compute := float64(fig11Tiles) * float64(c.cores) * 8 * float64(c.freq)
+		// Small rows cost extra activates: effective bandwidth drops.
+		rowEff := 0.75 + 0.25*float64(c.row)/512
+		memBound := fig11StreamBW * rowEff * flopsPerByte
+		perf := compute
+		if memBound < perf {
+			perf = memBound
+		}
+		bwUsed := perf / flopsPerByte
+		power := fftPower(c.freq, c.cores, c.row, bwUsed)
+		out[i] = DesignPoint{
+			Freq: c.freq, CoresPerTile: c.cores, RowBytes: c.row,
+			Perf: units.FlopsPerSec(perf), Power: power,
+		}
+		return nil
+	})
 	return out
 }
 
@@ -87,31 +100,42 @@ func fftPower(freq units.Hertz, cores int, row units.Bytes, bwUsed float64) unit
 // SpmvDesignSpace evaluates the SPMV accelerator: gather-bound, so the
 // blocking factor (x-vector locality) matters more than the datapath.
 func SpmvDesignSpace() []DesignPoint {
-	var out []DesignPoint
+	type spmvCfg struct {
+		freq  units.Hertz
+		cores int
+		block int
+	}
+	var cfgs []spmvCfg
 	for _, freq := range []units.Hertz{0.8 * units.GHz, 1.2 * units.GHz, 1.6 * units.GHz, 2.0 * units.GHz} {
 		for _, cores := range []int{1, 2, 4, 8} {
 			for _, block := range []int{1, 4, 16, 64} {
-				// Random-access bound: 128 banks, one 32 B access per
-				// ~66 ns row cycle; blocking converts part of the gathers
-				// to streams.
-				randomBW := 128.0 * 32 / 66e-9
-				locality := 1.0 + 2.5*(1.0-1.0/float64(block))
-				// CSR moves 16 bytes per 2 flops -> 0.125 flops/byte.
-				memBound := randomBW * locality * 0.125
-				compute := float64(fig11Tiles) * float64(cores) * 2 * float64(freq)
-				perf := compute
-				if memBound < perf {
-					perf = memBound
-				}
-				ghz := float64(freq) / 1e9
-				power := 4.5 + 9.0*(perf/(randomBW*3.5*0.125)) + 0.12*float64(fig11Tiles)*float64(cores)*ghz
-				out = append(out, DesignPoint{
-					Freq: freq, CoresPerTile: cores, BlockSize: block,
-					Perf: units.FlopsPerSec(perf), Power: units.Watts(power),
-				})
+				cfgs = append(cfgs, spmvCfg{freq, cores, block})
 			}
 		}
 	}
+	out := make([]DesignPoint, len(cfgs))
+	_ = forEachIndexed(len(cfgs), func(i int) error {
+		c := cfgs[i]
+		// Random-access bound: 128 banks, one 32 B access per
+		// ~66 ns row cycle; blocking converts part of the gathers
+		// to streams.
+		randomBW := 128.0 * 32 / 66e-9
+		locality := 1.0 + 2.5*(1.0-1.0/float64(c.block))
+		// CSR moves 16 bytes per 2 flops -> 0.125 flops/byte.
+		memBound := randomBW * locality * 0.125
+		compute := float64(fig11Tiles) * float64(c.cores) * 2 * float64(c.freq)
+		perf := compute
+		if memBound < perf {
+			perf = memBound
+		}
+		ghz := float64(c.freq) / 1e9
+		power := 4.5 + 9.0*(perf/(randomBW*3.5*0.125)) + 0.12*float64(fig11Tiles)*float64(c.cores)*ghz
+		out[i] = DesignPoint{
+			Freq: c.freq, CoresPerTile: c.cores, BlockSize: c.block,
+			Perf: units.FlopsPerSec(perf), Power: units.Watts(power),
+		}
+		return nil
+	})
 	return out
 }
 

@@ -80,13 +80,16 @@ func Figure12Chaining(sizes []int) ([]Fig12Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig12Row
-	for _, n := range sizes {
+	// Rows are independent analytic evaluations: dispatch each size to the
+	// worker pool, filling indexed slots to keep the output order.
+	rows := make([]Fig12Row, len(sizes))
+	err = forEachIndexed(len(sizes), func(i int) error {
+		n := sizes[i]
 		resmp, fft := sarRowArgs(n)
 		// Hardware chaining: LOOP n { PASS { RESMP FFT } }.
 		hw := &descriptor.Descriptor{}
 		if err := hw.AddLoop(uint32(n)); err != nil {
-			return nil, err
+			return err
 		}
 		_ = hw.AddComp(descriptor.OpRESMP, resmp)
 		_ = hw.AddComp(descriptor.OpFFT, fft)
@@ -107,31 +110,35 @@ func Figure12Chaining(sizes []int) ([]Fig12Row, error) {
 		}
 		sw1, err := mkSingle(descriptor.OpRESMP, resmp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw2, err := mkSingle(descriptor.OpFFT, fft)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Dirty working set the flush drains: bounded by image size and LLC.
 		dirty := units.Bytes(8 * n * n)
 		hwT, err := sys.run(hw, dirty)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw1T, err := sys.run(sw1, dirty)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw2T, err := sys.run(sw2, 0) // accelerator output is not CPU-dirty
 		if err != nil {
-			return nil, err
+			return err
 		}
 		swT := sw1T + sw2T
-		rows = append(rows, Fig12Row{
+		rows[i] = Fig12Row{
 			Size: n, Software: swT, Hardware: hwT,
 			SpeedupHWoverSW: float64(swT) / float64(hwT),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -144,8 +151,9 @@ func Figure12Loop(sizes []int, iterations int) ([]Fig12Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig12Row
-	for _, n := range sizes {
+	rows := make([]Fig12Row, len(sizes))
+	err = forEachIndexed(len(sizes), func(i int) error {
+		n := sizes[i]
 		fft := accel.FFTArgs{
 			N: int64(n), HowMany: int64(n), // one n x n image per invocation
 			Src: 0x1000_0000, Dst: 0x1000_0000,
@@ -153,14 +161,14 @@ func Figure12Loop(sizes []int, iterations int) ([]Fig12Row, error) {
 		// Hardware loop: one descriptor.
 		hw := &descriptor.Descriptor{}
 		if err := hw.AddLoop(uint32(iterations)); err != nil {
-			return nil, err
+			return err
 		}
 		_ = hw.AddComp(descriptor.OpFFT, fft)
 		hw.AddEndPass()
 		hw.AddEndLoop()
 		hwT, err := sys.run(hw, units.Bytes(8*n*n))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Software loop: the same single-pass descriptor invoked repeatedly.
 		single := &descriptor.Descriptor{}
@@ -172,17 +180,21 @@ func Figure12Loop(sizes []int, iterations int) ([]Fig12Row, error) {
 		// descriptor-copy costs recur.
 		firstT, err := sys.run(single, units.Bytes(8*n*n))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		restT, err := sys.run(single, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		swT := firstT + restT*units.Seconds(iterations-1)
-		rows = append(rows, Fig12Row{
+		rows[i] = Fig12Row{
 			Size: n, Software: swT, Hardware: hwT,
 			SpeedupHWoverSW: float64(swT) / float64(hwT),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

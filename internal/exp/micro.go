@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 
 	"mealib/internal/accel"
@@ -37,6 +38,12 @@ type MicroResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	HostNsPerOp float64 `json:"host_ns_per_op"`
 	Speedup     float64 `json:"speedup_vs_host"`
+	// SerialNsPerOp re-times the same launch with the wavefront scheduler
+	// off (Workers=1); SpeedupVsSerial is the scheduler's own win on this
+	// case — 1.0 for serial-chain descriptors (SPMV, RESHP), above 1.0 when
+	// waves carry more than one node.
+	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
 // microRig is the arena the micro-benchmarks run against.
@@ -384,9 +391,16 @@ func microSetup(c microCase, workers int) (*microRig, *descriptor.Descriptor, ph
 }
 
 // MicroBenchmarks measures every op through the functional execution engine
-// and against its host-library baseline. workers is the accel.Config.Workers
-// knob (0 = auto, 1 = serial).
-func MicroBenchmarks(workers int) ([]MicroResult, error) {
+// and against two baselines: the host library (direct kernel calls) and the
+// scheduler-off engine (Workers=1). workers is the accel.Config.Workers knob
+// (0 = auto, 1 = serial). ops, when non-empty, restricts the sweep to the
+// named opcodes (case-insensitive) — the CI smoke run uses this to stay
+// fast.
+func MicroBenchmarks(workers int, ops ...string) ([]MicroResult, error) {
+	want := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		want[strings.ToUpper(op)] = true
+	}
 	resolved := workers
 	if resolved == 0 {
 		resolved = runtime.GOMAXPROCS(0)
@@ -396,6 +410,9 @@ func MicroBenchmarks(workers int) ([]MicroResult, error) {
 	}
 	var out []MicroResult
 	for _, c := range microCases() {
+		if len(want) > 0 && !want[c.op] {
+			continue
+		}
 		rig, d, base, host, err := microSetup(c, workers)
 		if err != nil {
 			return nil, err
@@ -430,11 +447,37 @@ func MicroBenchmarks(workers int) ([]MicroResult, error) {
 		if ns > 0 {
 			sp = hostNs / ns
 		}
+		serialNs := ns
+		if resolved != 1 {
+			// Scheduler-off comparison: the identical descriptor on a fresh
+			// serial rig.
+			srig, sd, sbase, _, err := microSetup(c, 1)
+			if err != nil {
+				return nil, err
+			}
+			serialRes := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := srig.layer.RunPlain(srig.space, sd, sbase); err != nil {
+						runErr = err
+						return
+					}
+				}
+			})
+			if runErr != nil {
+				return nil, fmt.Errorf("exp: micro %s serial: %w", c.op, runErr)
+			}
+			serialNs = float64(serialRes.NsPerOp())
+		}
+		spSerial := 0.0
+		if ns > 0 {
+			spSerial = serialNs / ns
+		}
 		out = append(out, MicroResult{
 			Op: c.op, Size: c.size, LoopIters: c.iters,
 			Workers: resolved, GoMaxProcs: runtime.GOMAXPROCS(0),
 			NsPerOp: ns, AllocsPerOp: accelRes.AllocsPerOp(), BytesPerOp: accelRes.AllocedBytesPerOp(),
 			HostNsPerOp: hostNs, Speedup: sp,
+			SerialNsPerOp: serialNs, SpeedupVsSerial: spSerial,
 		})
 	}
 	return out, nil
@@ -444,13 +487,14 @@ func MicroBenchmarks(workers int) ([]MicroResult, error) {
 func RenderMicro(rows []MicroResult) *Table {
 	t := &Table{
 		Title:   "Functional-path micro-benchmarks (one descriptor launch)",
-		Columns: []string{"Op", "Size", "Iters", "ns/op", "allocs/op", "host ns/op", "vs host"},
+		Columns: []string{"Op", "Size", "Iters", "ns/op", "allocs/op", "host ns/op", "vs host", "serial ns/op", "vs serial"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			r.Op, fmt.Sprintf("%d", r.Size), fmt.Sprintf("%d", r.LoopIters),
 			fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
 			fmt.Sprintf("%.0f", r.HostNsPerOp), f(r.Speedup),
+			fmt.Sprintf("%.0f", r.SerialNsPerOp), f(r.SpeedupVsSerial),
 		})
 	}
 	if len(rows) > 0 {

@@ -30,10 +30,17 @@ func TestRenderMicro(t *testing.T) {
 	rows := []MicroResult{{
 		Op: "AXPY", Size: 4096, LoopIters: 64, Workers: 4, GoMaxProcs: 4,
 		NsPerOp: 1000, AllocsPerOp: 3, BytesPerOp: 256, HostNsPerOp: 900, Speedup: 0.9,
+		SerialNsPerOp: 2000, SpeedupVsSerial: 2.0,
 	}}
 	tab := RenderMicro(rows)
 	if len(tab.Rows) != 1 || tab.Rows[0][0] != "AXPY" {
 		t.Fatalf("unexpected table rows: %+v", tab.Rows)
+	}
+	if got := tab.Rows[0][len(tab.Rows[0])-1]; got != "2.00" {
+		t.Fatalf("vs-serial column = %q, want 2.00", got)
+	}
+	if len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("row width %d != column count %d", len(tab.Rows[0]), len(tab.Columns))
 	}
 	if empty := RenderMicro(nil); len(empty.Rows) != 0 {
 		t.Fatalf("empty render has rows: %+v", empty.Rows)

@@ -1,0 +1,233 @@
+package mealibrt
+
+import (
+	"testing"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/units"
+)
+
+// axpyPlan builds an installed single-AXPY plan y += alpha*x over n
+// elements, with the inputs written so the launch verifier is satisfied.
+func axpyPlan(t *testing.T, r *Runtime, alpha float32, n int) (*Plan, *Buffer, *Buffer) {
+	t.Helper()
+	x, err := r.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := r.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i % 7)
+		ys[i] = 1
+	}
+	if err := x.StoreFloat32s(0, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, ys); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: int64(n), Alpha: alpha, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	p, err := r.AccPlanDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, x, y
+}
+
+func checkAxpy(t *testing.T, y *Buffer, alpha float32, n int) {
+	t.Helper()
+	got, err := y.LoadFloat32s(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := 1 + alpha*float32(i%7)
+		if got[i] != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// Two plans over disjoint buffers may be in flight together; both must
+// complete with the same results serial execution would produce.
+func TestSubmitDisjointFlights(t *testing.T) {
+	r := newRuntime(t)
+	const n = 1 << 12
+	pa, _, ya := axpyPlan(t, r, 3, n)
+	pb, _, yb := axpyPlan(t, r, 5, n)
+
+	fa, err := pa.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := pb.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	checkAxpy(t, ya, 3, n)
+	checkAxpy(t, yb, 5, n)
+	if got := r.Stats().Invocations; got != 2 {
+		t.Errorf("Invocations = %d, want 2", got)
+	}
+	if !r.Link().HostMayAccess() {
+		t.Error("link must return to the host after the last flight")
+	}
+}
+
+// Plans that touch the same buffer must not overlap in flight: the second
+// Submit is admitted only after the first retires. Under -race this is the
+// proof that admission really serialises conflicting descriptors.
+func TestSubmitConflictingFlightsSerialize(t *testing.T) {
+	r := newRuntime(t)
+	const n = 1 << 12
+	p1, x, y := axpyPlan(t, r, 2, n)
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: int64(n), Alpha: 4, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	p2, err := r.AccPlanDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f1, err := p1.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflicts on both x (read-write ordering is irrelevant here) and y
+	// (write-write): Submit blocks until the first flight drains.
+	f2, err := p2.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// y = 1 + 2*(i%7) + 4*(i%7), whichever flight ran first.
+	got, err := y.LoadFloat32s(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := 1 + 6*float32(i%7)
+		if got[i] != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// MaxInFlight=1 forces fully serial flights: the link must hand over per
+// flight (two transfers each), never coalescing across overlapping flights.
+func TestSubmitMaxInFlight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInFlight = 1
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 10
+	pa, _, ya := axpyPlan(t, r, 3, n)
+	pb, _, yb := axpyPlan(t, r, 5, n)
+	before := r.Link().Transfers()
+
+	fa, err := pa.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := pb.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	checkAxpy(t, ya, 3, n)
+	checkAxpy(t, yb, 5, n)
+	if got := r.Link().Transfers() - before; got != 4 {
+		t.Errorf("transfers = %d, want 4 (two serialised flights)", got)
+	}
+}
+
+// While the accelerators hold the link, every host-side DRAM surface —
+// buffer access, allocation, planning, freeing — must be refused.
+func TestHostSurfacesBlockedDuringFlight(t *testing.T) {
+	r := newRuntime(t)
+	const n = 64
+	p, x, y := axpyPlan(t, r, 2, n)
+
+	r.Link().AcquireShared()
+	if err := y.StoreFloat32s(0, []float32{9}); err == nil {
+		t.Error("store must be blocked")
+	}
+	if _, err := y.LoadFloat32s(0, 1); err == nil {
+		t.Error("load must be blocked")
+	}
+	if _, err := y.LoadInt32s(0, 1); err == nil {
+		t.Error("int32 load must be blocked")
+	}
+	if _, err := r.MemAlloc(4 * units.KiB); err == nil {
+		t.Error("allocation must be blocked (it maps a region the accelerators may be walking)")
+	}
+	if err := r.MemFree(x); err == nil {
+		t.Error("free must be blocked")
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: 1, Alpha: 1, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	if _, err := r.AccPlanDescriptor(d); err == nil {
+		t.Error("planning must be blocked (it encodes into the command space)")
+	}
+	if err := p.Destroy(); err == nil {
+		t.Error("destroy must be blocked")
+	}
+	if err := r.Link().ReleaseShared(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With ownership back, the same plan still executes.
+	inv, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Report.Comps != 1 {
+		t.Errorf("Comps = %d, want 1", inv.Report.Comps)
+	}
+	checkAxpy(t, y, 2, n)
+	if err := p.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(); err == nil {
+		t.Error("submit of a destroyed plan must fail")
+	}
+}

@@ -13,6 +13,7 @@ package mealibrt
 
 import (
 	"fmt"
+	"sync"
 
 	"mealib/internal/accel"
 	"mealib/internal/analysis/tdlcheck"
@@ -46,6 +47,10 @@ type Config struct {
 	// independent LOOP iterations: 0 keeps the layer's own setting
 	// (min(GOMAXPROCS, Tiles) by default), 1 forces serial execution.
 	Workers int
+	// MaxInFlight caps the number of descriptors concurrently in flight
+	// through Plan.Submit (0 = unlimited). Submissions past the cap block
+	// in admission until a flight completes.
+	MaxInFlight int
 }
 
 // DefaultConfig returns the paper's system: a Haswell host in front of one
@@ -75,6 +80,12 @@ type Runtime struct {
 	// link arbitrates DRAM ownership between the host and the
 	// accelerators (paper §2.1).
 	link accel.LinkController
+	// cond (bound to mu) wakes admission waiters when a flight completes.
+	cond *sync.Cond
+	// mu guards every field below: the coherence/verification state and
+	// the in-flight descriptor registry, shared between the host path and
+	// the completion goroutines of submitted plans.
+	mu sync.Mutex
 	// dirty approximates the modified cache contents since the last flush.
 	dirty units.Bytes
 	// initialized tracks which data-space spans the host (or a completed
@@ -84,6 +95,16 @@ type Runtime struct {
 	// scattered the write history.
 	initialized spanSet
 	stats       Stats
+	// inflight registers the read/write span sets of every descriptor
+	// currently executing; Submit admits a new plan only when its spans
+	// do not conflict with them.
+	inflight []*flight
+}
+
+// flight is one in-flight descriptor execution.
+type flight struct {
+	reads  []tdlcheck.Span
+	writes []tdlcheck.Span
 }
 
 // Stats aggregates invocation accounting across the runtime's lifetime
@@ -124,7 +145,9 @@ func New(cfg *Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{cfg: cfg, space: space, driver: driver, layer: layer}, nil
+	rt := &Runtime{cfg: cfg, space: space, driver: driver, layer: layer}
+	rt.cond = sync.NewCond(&rt.mu)
+	return rt, nil
 }
 
 // Space exposes the physical space (accelerator-side addressing).
@@ -140,7 +163,11 @@ func (r *Runtime) Layer() *accel.Layer { return r.layer }
 func (r *Runtime) Host() *cpu.Host { return r.cfg.Host }
 
 // Stats returns the accumulated invocation accounting.
-func (r *Runtime) Stats() Stats { return r.stats }
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // Link exposes the link controller (diagnostics and tests).
 func (r *Runtime) Link() *accel.LinkController { return &r.link }
@@ -183,6 +210,12 @@ func (r *Runtime) MemAlloc(n units.Bytes) (*Buffer, error) {
 // Local Memory Stack, others are Remote Memory Stacks whose traffic
 // crosses the inter-stack links).
 func (r *Runtime) MemAllocOn(stack int, n units.Bytes) (*Buffer, error) {
+	// Allocation maps a new region into the physical space, which in-flight
+	// accelerator accesses walk concurrently: like any other host DRAM
+	// access it must wait for link ownership.
+	if err := r.hostAccess(); err != nil {
+		return nil, err
+	}
 	va, pa, err := r.driver.AllocDataOn(stack, n)
 	if err != nil {
 		return nil, err
@@ -198,20 +231,26 @@ func (r *Runtime) MemFree(b *Buffer) error {
 	if b == nil || b.rt != r {
 		return fmt.Errorf("mealibrt: foreign or nil buffer")
 	}
+	if err := r.hostAccess(); err != nil {
+		return err
+	}
 	return r.driver.Free(b.va)
 }
 
 // touch records a host write at byte offset off for the coherence model and
 // for the verifier's initialized-span tracking.
 func (b *Buffer) touch(off, n units.Bytes) {
-	b.rt.dirty += n
-	b.rt.markInitialized(tdlcheck.Span{Addr: b.pa + phys.Addr(off), Bytes: n})
+	b.rt.noteWrite(tdlcheck.Span{Addr: b.pa + phys.Addr(off), Bytes: n})
 }
 
-// markInitialized records a span as holding live data, merging it into the
-// sorted interval set (overlaps and adjacencies coalesce regardless of
+// noteWrite records a host write: the coherence model's dirty-byte estimate
+// grows and the span joins the initialized set, merging into the sorted
+// interval representation (overlaps and adjacencies coalesce regardless of
 // write order).
-func (r *Runtime) markInitialized(s tdlcheck.Span) {
+func (r *Runtime) noteWrite(s tdlcheck.Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dirty += s.Bytes
 	r.initialized.add(s)
 }
 
@@ -249,8 +288,8 @@ func (b *Buffer) LoadComplex64s(off units.Bytes, n int) ([]complex64, error) {
 	return b.rt.space.LoadComplex64s(b.pa+phys.Addr(off), n)
 }
 
-// WriteInt32s writes v at byte offset off.
-func (b *Buffer) WriteInt32s(off units.Bytes, v []int32) error {
+// StoreInt32s writes v at byte offset off.
+func (b *Buffer) StoreInt32s(off units.Bytes, v []int32) error {
 	if err := b.rt.hostAccess(); err != nil {
 		return err
 	}
@@ -258,12 +297,28 @@ func (b *Buffer) WriteInt32s(off units.Bytes, v []int32) error {
 	return b.rt.space.WriteInt32s(b.pa+phys.Addr(off), v)
 }
 
-// ReadInt32s reads n int32 values at byte offset off.
-func (b *Buffer) ReadInt32s(off units.Bytes, n int) ([]int32, error) {
+// LoadInt32s reads n int32 values at byte offset off.
+func (b *Buffer) LoadInt32s(off units.Bytes, n int) ([]int32, error) {
 	if err := b.rt.hostAccess(); err != nil {
 		return nil, err
 	}
 	return b.rt.space.ReadInt32s(b.pa+phys.Addr(off), n)
+}
+
+// WriteInt32s writes v at byte offset off.
+//
+// Deprecated: use StoreInt32s, which matches the Store/Load naming of the
+// other element accessors.
+func (b *Buffer) WriteInt32s(off units.Bytes, v []int32) error {
+	return b.StoreInt32s(off, v)
+}
+
+// ReadInt32s reads n int32 values at byte offset off.
+//
+// Deprecated: use LoadInt32s, which matches the Store/Load naming of the
+// other element accessors.
+func (b *Buffer) ReadInt32s(off units.Bytes, n int) ([]int32, error) {
+	return b.LoadInt32s(off, n)
 }
 
 // Plan is a reusable accelerator descriptor (mealib_acc_plan's acc_plan).
@@ -275,6 +330,9 @@ type Plan struct {
 	// writes are the spans the descriptor's task graph initializes,
 	// propagated into the runtime's initialized set after each execution.
 	writes []tdlcheck.Span
+	// reads are the spans the task graph consumes; together with writes
+	// they drive Submit's conflict admission against in-flight descriptors.
+	reads []tdlcheck.Span
 }
 
 // AccPlan compiles a TDL program against the parameter table and encodes
@@ -308,6 +366,11 @@ func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
 	if d == nil {
 		return nil, fmt.Errorf("mealibrt: nil descriptor")
 	}
+	// Planning maps a command-space region and encodes the descriptor into
+	// it: host-side DRAM work that must wait for link ownership.
+	if err := r.hostAccess(); err != nil {
+		return nil, err
+	}
 	if !r.cfg.NoVerify {
 		if err := tdlcheck.VerifyDescriptor(d); err != nil {
 			return nil, fmt.Errorf("mealibrt: descriptor rejected by the static verifier: %w", err)
@@ -329,7 +392,12 @@ func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
 		_ = r.driver.Free(va)
 		return nil, err
 	}
-	return &Plan{rt: r, desc: d, baseVA: va, basePA: pa, writes: writes}, nil
+	reads, err := tdlcheck.Reads(d)
+	if err != nil {
+		_ = r.driver.Free(va)
+		return nil, err
+	}
+	return &Plan{rt: r, desc: d, baseVA: va, basePA: pa, writes: writes, reads: reads}, nil
 }
 
 // Descriptor returns the plan's descriptor.
@@ -368,14 +436,43 @@ func InvocationOverhead(h *cpu.Host, setup units.Seconds, descSize, dirty units.
 	return t, e
 }
 
-// AccExecute launches the plan (mealib_acc_execute): flush, doorbell, run,
-// and account. The same plan can be executed repeatedly.
-func (p *Plan) Execute() (*Invocation, error) {
+// PendingInvocation is a descriptor execution started by Plan.Submit and
+// not yet waited for.
+type PendingInvocation struct {
+	done chan struct{}
+	inv  *Invocation
+	err  error
+}
+
+// Wait blocks until the submitted descriptor completes and returns the
+// invocation outcome. Wait may be called at most once per Submit from any
+// goroutine; further calls return the same result.
+func (pi *PendingInvocation) Wait() (*Invocation, error) {
+	<-pi.done
+	return pi.inv, pi.err
+}
+
+// Submit launches the plan asynchronously: the mealib_acc_execute doorbell
+// without the wait. Admission is dependence-aware — the plan's read/write
+// spans are checked against every in-flight descriptor, and Submit blocks
+// until no write-write, write-read or read-write overlap remains (and the
+// MaxInFlight cap, if set, has room). Admitted flights touch pairwise
+// disjoint data, so they run concurrently without changing any result.
+func (p *Plan) Submit() (*PendingInvocation, error) {
 	r := p.rt
-	// Launch-time verification: with the host's initialized spans now
-	// known, reject task graphs that would read uninitialized buffers.
+	if p.baseVA == 0 {
+		return nil, fmt.Errorf("mealibrt: plan already destroyed")
+	}
+	r.mu.Lock()
+	for r.blockedLocked(p) {
+		r.cond.Wait()
+	}
+	// Launch-time verification: admission has drained every in-flight
+	// writer overlapping this plan's reads, so the initialized set is
+	// complete for the read-before-write check.
 	if !r.cfg.NoVerify {
 		if err := tdlcheck.VerifyDescriptor(p.desc, tdlcheck.WithInitialized(r.initialized.all()...)); err != nil {
+			r.mu.Unlock()
 			return nil, fmt.Errorf("mealibrt: launch rejected by the static verifier: %w", err)
 		}
 	}
@@ -383,40 +480,119 @@ func (p *Plan) Execute() (*Invocation, error) {
 	if llc := r.cfg.Host.Cache.LLC(); dirty > llc {
 		dirty = llc
 	}
-	ovT, ovE := InvocationOverhead(r.cfg.Host, r.cfg.DescriptorSetupLatency, p.desc.Size(), dirty)
 	r.dirty = 0
+	fl := &flight{reads: p.reads, writes: p.writes}
+	r.inflight = append(r.inflight, fl)
+	r.mu.Unlock()
+
+	ovT, ovE := InvocationOverhead(r.cfg.Host, r.cfg.DescriptorSetupLatency, p.desc.Size(), dirty)
 	if err := descriptor.WriteCommand(r.space, p.basePA, descriptor.CmdStart); err != nil {
+		r.finishFlight(fl)
 		return nil, err
 	}
 	// Ownership of the DRAM passes to the accelerators for the duration of
-	// the descriptor (paper §2.1); host accesses are blocked meanwhile.
-	if err := r.link.AcquireForAccelerators(); err != nil {
-		return nil, err
+	// the flight (paper §2.1): the first flight blocks host accesses, the
+	// last completion hands ownership back.
+	r.link.AcquireShared()
+	pi := &PendingInvocation{done: make(chan struct{})}
+	go func() {
+		defer close(pi.done)
+		rep, err := r.layer.Run(r.space, p.basePA)
+		if relErr := r.link.ReleaseShared(); relErr != nil && err == nil {
+			err = relErr
+		}
+		if err != nil {
+			pi.err = err
+			r.finishFlight(fl)
+			return
+		}
+		idle := r.cfg.Host.Wait(rep.Time)
+		pi.inv = &Invocation{
+			Report:         rep,
+			OverheadTime:   ovT,
+			OverheadEnergy: ovE,
+			HostIdleEnergy: idle.Energy,
+		}
+		r.retire(fl, p.writes, rep, ovT, ovE)
+	}()
+	return pi, nil
+}
+
+// blockedLocked reports whether the plan must wait for admission: the
+// MaxInFlight cap is full, or its spans conflict with an in-flight
+// descriptor (its writes against their reads and writes, its reads against
+// their writes). Called with mu held.
+func (r *Runtime) blockedLocked(p *Plan) bool {
+	if r.cfg.MaxInFlight > 0 && len(r.inflight) >= r.cfg.MaxInFlight {
+		return true
 	}
-	rep, err := r.layer.Run(r.space, p.basePA)
-	if relErr := r.link.ReleaseToHost(); relErr != nil && err == nil {
-		err = relErr
+	for _, fl := range r.inflight {
+		if spansOverlap(p.writes, fl.writes) ||
+			spansOverlap(p.writes, fl.reads) ||
+			spansOverlap(p.reads, fl.writes) {
+			return true
+		}
 	}
-	if err != nil {
-		return nil, err
+	return false
+}
+
+func spansOverlap(a, b []tdlcheck.Span) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Overlaps(y) {
+				return true
+			}
+		}
 	}
-	// The descriptor's writes are now live data for subsequent launches.
-	for _, s := range p.writes {
-		r.markInitialized(s)
-	}
-	idle := r.cfg.Host.Wait(rep.Time)
-	inv := &Invocation{
-		Report:         rep,
-		OverheadTime:   ovT,
-		OverheadEnergy: ovE,
-		HostIdleEnergy: idle.Energy,
+	return false
+}
+
+// retire completes a successful flight: the descriptor's writes become live
+// data for subsequent launches, the accounting lands in Stats, and
+// admission waiters are woken.
+func (r *Runtime) retire(fl *flight, writes []tdlcheck.Span, rep *accel.Report, ovT units.Seconds, ovE units.Joules) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range writes {
+		r.initialized.add(s)
 	}
 	r.stats.Invocations++
 	r.stats.OverheadTime += ovT
 	r.stats.OverheadEnergy += ovE
 	r.stats.AccelTime += rep.Time
 	r.stats.AccelEnergy += rep.Energy
-	return inv, nil
+	r.removeFlightLocked(fl)
+	r.cond.Broadcast()
+}
+
+// finishFlight unregisters a flight that failed before or during execution.
+func (r *Runtime) finishFlight(fl *flight) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removeFlightLocked(fl)
+	r.cond.Broadcast()
+}
+
+// removeFlightLocked drops fl from the in-flight registry. Called with mu
+// held.
+func (r *Runtime) removeFlightLocked(fl *flight) {
+	for i, f := range r.inflight {
+		if f == fl {
+			r.inflight = append(r.inflight[:i], r.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// AccExecute launches the plan and waits for it (mealib_acc_execute):
+// flush, doorbell, run, and account. The same plan can be executed
+// repeatedly. Execute is exactly Submit followed by Wait.
+func (p *Plan) Execute() (*Invocation, error) {
+	pi, err := p.Submit()
+	if err != nil {
+		return nil, err
+	}
+	return pi.Wait()
 }
 
 // Destroy releases the plan's command-space allocation
@@ -424,6 +600,9 @@ func (p *Plan) Execute() (*Invocation, error) {
 func (p *Plan) Destroy() error {
 	if p.baseVA == 0 {
 		return fmt.Errorf("mealibrt: plan already destroyed")
+	}
+	if err := p.rt.hostAccess(); err != nil {
+		return err
 	}
 	err := p.rt.driver.Free(p.baseVA)
 	p.baseVA = 0

@@ -311,12 +311,19 @@ func TestRuntimeAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.WriteInt32s(0, []int32{1, -2, 3}); err != nil {
+	if err := b.StoreInt32s(0, []int32{1, -2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.ReadInt32s(0, 3)
+	got, err := b.LoadInt32s(0, 3)
 	if err != nil || got[1] != -2 {
 		t.Errorf("int32 round trip: %v, %v", got, err)
+	}
+	// The deprecated Write/Read aliases must keep forwarding.
+	if err := b.WriteInt32s(12, []int32{7}); err != nil {
+		t.Fatal(err)
+	}
+	if alias, err := b.ReadInt32s(12, 1); err != nil || alias[0] != 7 {
+		t.Errorf("deprecated alias round trip: %v, %v", alias, err)
 	}
 	c, err := b.LoadComplex64s(0, 1)
 	if err != nil || len(c) != 1 {

@@ -199,10 +199,10 @@ func buildParams(t *testing.T, r *mealibrt.Runtime, op descriptor.OpCode) (descr
 		if failed {
 			return nil, false
 		}
-		if err := rowPtr.WriteInt32s(0, []int32{0, 1, 2, 3, 4}); err != nil {
+		if err := rowPtr.StoreInt32s(0, []int32{0, 1, 2, 3, 4}); err != nil {
 			t.Fatal(err)
 		}
-		if err := colIdx.WriteInt32s(0, []int32{0, 1, 2, 3}); err != nil {
+		if err := colIdx.StoreInt32s(0, []int32{0, 1, 2, 3}); err != nil {
 			t.Fatal(err)
 		}
 		storeF(vals, 4)

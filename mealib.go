@@ -72,6 +72,13 @@ func WithWorkers(n int) Option {
 	return func(c *mealibrt.Config) { c.Workers = n }
 }
 
+// WithMaxInFlight caps the number of plans concurrently in flight through
+// InstalledPlan.Submit (0 = unlimited). Submissions past the cap block
+// until a flight completes.
+func WithMaxInFlight(n int) Option {
+	return func(c *mealibrt.Config) { c.MaxInFlight = n }
+}
+
 // AcceleratorConfig returns the paper's accelerator layer configuration for
 // customisation with WithAccelerator.
 func AcceleratorConfig() *accel.Config { return accel.MEALibConfig() }

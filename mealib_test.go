@@ -631,3 +631,58 @@ func TestPortability(t *testing.T) {
 			slowRun.AccelTime, fastRun.AccelTime)
 	}
 }
+
+func TestSubmitWaitAndMaxInFlight(t *testing.T) {
+	s, err := New(WithMaxInFlight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	mkPlan := func() (*InstalledPlan, *Float32Buffer) {
+		x, _ := s.AllocFloat32(n)
+		y, _ := s.AllocFloat32(n)
+		ones := make([]float32, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		_ = x.Set(ones)
+		_ = y.Set(make([]float32, n))
+		ip, err := s.NewPlan().Pass(SaxpyComp(n, 2, x, y, nil, nil)).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ip, y
+	}
+	ipA, yA := mkPlan()
+	ipB, yB := mkPlan()
+	// Submit both before waiting on either: with MaxInFlight(1) the second
+	// is admitted only after the first retires, but both must complete.
+	prA, err := ipA.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prB, err := ipB.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := prB.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runA, err := prA.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runA.Comps != 1 || runB.Comps != 1 {
+		t.Errorf("comps = %d, %d; want 1, 1", runA.Comps, runB.Comps)
+	}
+	for _, y := range []*Float32Buffer{yA, yB} {
+		got, err := y.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 2 || got[n-1] != 2 {
+			t.Errorf("y = %v..%v, want 2", got[0], got[n-1])
+		}
+	}
+}
