@@ -28,4 +28,14 @@ go run ./cmd/mealib-bench -micro "$microdir" -ops AXPY >/dev/null
 test -s "$microdir/BENCH_AXPY.json"
 grep -q speedup_vs_serial "$microdir/BENCH_AXPY.json"
 
+echo "==> mealib-trace e2e smoke (traced micro AXPY, validated export)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$microdir" "$tracedir"' EXIT
+# The CLI validates the trace itself (monotone timestamps, matched B/E
+# spans) and exits non-zero on a bad one; here we additionally check both
+# artifacts landed with content.
+go run ./cmd/mealib-trace -workload micro -op AXPY -out "$tracedir" >/dev/null
+grep -q traceEvents "$tracedir/trace.json"
+grep -q 'accel.launches' "$tracedir/metrics.json"
+
 echo "check.sh: all gates passed"

@@ -10,6 +10,7 @@ import (
 	"mealib/internal/descriptor"
 	"mealib/internal/noc"
 	"mealib/internal/phys"
+	"mealib/internal/telemetry"
 	"mealib/internal/units"
 )
 
@@ -18,6 +19,44 @@ import (
 // memory, decode unit) that executes accelerator descriptors (paper §2.2).
 type Layer struct {
 	cfg *Config
+	// tr records execution spans; met holds the metric handles, resolved
+	// once here so the hot path updates plain atomics (or no-ops on nil).
+	tr  *telemetry.Tracer
+	met layerMetrics
+}
+
+// layerMetrics are the accelerator-side metric handles. All fields no-op
+// when nil (telemetry disabled).
+type layerMetrics struct {
+	launches        *telemetry.Counter
+	nodes           *telemetry.Counter
+	streamFallbacks *telemetry.Counter
+	comps           *telemetry.Counter
+	bytesMoved      *telemetry.Counter
+	wavesPerLaunch  *telemetry.Histogram
+	waveWidth       *telemetry.Histogram
+	// Per-opcode activity, indexed by descriptor.OpCode.
+	opInv [descriptor.OpRESHP + 1]*telemetry.Counter
+	opNS  [descriptor.OpRESHP + 1]*telemetry.Counter
+	opPJ  [descriptor.OpRESHP + 1]*telemetry.Counter
+}
+
+func (m *layerMetrics) init(reg *telemetry.Metrics) {
+	if reg == nil {
+		return
+	}
+	m.launches = reg.Counter("accel.launches")
+	m.nodes = reg.Counter("accel.nodes")
+	m.streamFallbacks = reg.Counter("accel.stream_fallbacks")
+	m.comps = reg.Counter("accel.comps")
+	m.bytesMoved = reg.Counter("accel.bytes_moved")
+	m.wavesPerLaunch = reg.Histogram("accel.waves_per_launch")
+	m.waveWidth = reg.Histogram("accel.wave_width")
+	for op := descriptor.OpAXPY; op <= descriptor.OpRESHP; op++ {
+		m.opInv[op] = reg.Counter("accel.op." + op.String() + ".invocations")
+		m.opNS[op] = reg.Counter("accel.op." + op.String() + ".ns")
+		m.opPJ[op] = reg.Counter("accel.op." + op.String() + ".pJ")
+	}
 }
 
 // NewLayer builds the layer from a validated configuration.
@@ -25,7 +64,27 @@ func NewLayer(cfg *Config) (*Layer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Layer{cfg: cfg}, nil
+	l := &Layer{cfg: cfg, tr: cfg.Tracer}
+	l.met.init(cfg.Tracer.Metrics())
+	return l, nil
+}
+
+// noteLaunch feeds the per-launch metrics from the final report.
+func (l *Layer) noteLaunch(rep *Report) {
+	if l.tr == nil {
+		return
+	}
+	l.met.launches.Add(1)
+	l.met.comps.Add(rep.Comps)
+	for op, st := range rep.PerOp {
+		if int(op) >= len(l.met.opInv) || int(op) < 0 {
+			continue
+		}
+		l.met.opInv[op].Add(st.Invocations)
+		l.met.opNS[op].Add(int64(float64(st.Time) * 1e9))
+		l.met.opPJ[op].Add(int64(float64(st.Energy) * 1e12))
+		l.met.bytesMoved.Add(int64(st.Bytes))
+	}
 }
 
 // Config returns the layer configuration.
@@ -115,18 +174,27 @@ func (l *Layer) Run(s *phys.Space, base phys.Addr) (*Report, error) {
 	if err := l.cfg.CU.CheckCapacity(d); err != nil {
 		return nil, err
 	}
+	tb := l.tr.Buffer(telemetry.TrackAccel)
+	defer tb.Release()
+	tb.Begin(telemetry.SpanLaunch, "descriptor")
 	rep, err := l.interpret(d, func(op descriptor.OpCode, p descriptor.Params, it IterVec) (Work, error) {
 		return execute(s, op, p, it)
-	})
+	}, tb)
 	if err != nil {
+		tb.End(telemetry.SpanLaunch, 0)
 		return nil, err
 	}
 	fd := l.cfg.CU.FetchDecodeTime(d)
 	rep.FetchDecodeTime = fd
 	rep.Time += fd
 	if err := descriptor.WriteCommand(s, base, descriptor.CmdDone); err != nil {
+		tb.End(telemetry.SpanLaunch, rep.Time)
 		return nil, err
 	}
+	tb.End2(telemetry.SpanLaunch, rep.Time,
+		telemetry.Arg{Key: "comps", Val: rep.Comps},
+		telemetry.Arg{Key: "noc_bytes", Val: int64(rep.NoCBytes)})
+	l.noteLaunch(rep)
 	return rep, nil
 }
 
@@ -142,13 +210,21 @@ func (l *Layer) RunModel(d *descriptor.Descriptor) (*Report, error) {
 	if err := l.cfg.CU.CheckCapacity(d); err != nil {
 		return nil, err
 	}
-	rep, err := l.interpretModel(d)
+	tb := l.tr.Buffer(telemetry.TrackAccel)
+	defer tb.Release()
+	tb.Begin(telemetry.SpanLaunch, "descriptor(model)")
+	rep, err := l.interpretModel(d, tb)
 	if err != nil {
+		tb.End(telemetry.SpanLaunch, 0)
 		return nil, err
 	}
 	fd := l.cfg.CU.FetchDecodeTime(d)
 	rep.FetchDecodeTime = fd
 	rep.Time += fd
+	tb.End2(telemetry.SpanLaunch, rep.Time,
+		telemetry.Arg{Key: "comps", Val: rep.Comps},
+		telemetry.Arg{Key: "noc_bytes", Val: int64(rep.NoCBytes)})
+	l.noteLaunch(rep)
 	return rep, nil
 }
 
@@ -156,35 +232,49 @@ func (l *Layer) RunModel(d *descriptor.Descriptor) (*Report, error) {
 // runs it with the wavefront scheduler (sched.go). Oversized expansions —
 // LOOP trip counts past planMaxNodes — stream through the legacy loop
 // executor instead of materialising the DAG.
-func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc) (*Report, error) {
+func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc, tb *telemetry.Buf) (*Report, error) {
+	tb.Begin(telemetry.SpanPlanLower, "lower")
 	p, err := l.buildPlan(d, planExpand)
 	if err != nil {
+		tb.End(telemetry.SpanPlanLower, 0)
 		return nil, err
 	}
 	if p == nil {
-		return l.interpretStream(d, exec)
+		tb.End(telemetry.SpanPlanLower, 0)
+		l.met.streamFallbacks.Add(1)
+		return l.interpretStream(d, exec, tb)
 	}
-	return l.runPlan(p, exec)
+	tb.End2(telemetry.SpanPlanLower, 0,
+		telemetry.Arg{Key: "nodes", Val: int64(len(p.nodes))},
+		telemetry.Arg{Key: "waves", Val: int64(len(p.waves))})
+	return l.runPlan(p, exec, tb)
 }
 
 // interpretModel is interpret through the same plan IR and scheduler, with
 // the analytic evaluator and O(1) loops: each LOOP collapses to one
 // representative node per body pass, scaled by the trip count (every
 // iteration of a hardware loop has identical cost; only addresses differ).
-func (l *Layer) interpretModel(d *descriptor.Descriptor) (*Report, error) {
+func (l *Layer) interpretModel(d *descriptor.Descriptor, tb *telemetry.Buf) (*Report, error) {
 	model := func(op descriptor.OpCode, p descriptor.Params, _ IterVec) (Work, error) {
 		return WorkOf(op, p)
 	}
+	tb.Begin(telemetry.SpanPlanLower, "lower")
 	p, err := l.buildPlan(d, planCollapse)
 	if err != nil {
+		tb.End(telemetry.SpanPlanLower, 0)
 		return nil, err
 	}
 	if p == nil {
 		// Unreachable for descriptors that passed CheckCapacity (collapse
 		// never exceeds the instruction count), but stay total.
-		return l.interpretStream(d, model)
+		tb.End(telemetry.SpanPlanLower, 0)
+		l.met.streamFallbacks.Add(1)
+		return l.interpretStream(d, model, tb)
 	}
-	return l.runPlan(p, model)
+	tb.End2(telemetry.SpanPlanLower, 0,
+		telemetry.Arg{Key: "nodes", Val: int64(len(p.nodes))},
+		telemetry.Arg{Key: "waves", Val: int64(len(p.waves))})
+	return l.runPlan(p, model, tb)
 }
 
 // interpretStream is the pre-IR walker: it executes the instruction stream
@@ -194,7 +284,20 @@ func (l *Layer) interpretModel(d *descriptor.Descriptor) (*Report, error) {
 // the choice between it and the scheduler depends only on the descriptor,
 // so serial and parallel runs of the same descriptor always take the same
 // path and stay bit-identical.
-func (l *Layer) interpretStream(d *descriptor.Descriptor, exec execFunc) (*Report, error) {
+func (l *Layer) interpretStream(d *descriptor.Descriptor, exec execFunc, tb *telemetry.Buf) (*Report, error) {
+	tb.Begin(telemetry.SpanStream, "stream")
+	rep, err := l.streamWalk(d, exec)
+	if err != nil {
+		tb.End(telemetry.SpanStream, 0)
+		return nil, err
+	}
+	tb.End2(telemetry.SpanStream, rep.Time,
+		telemetry.Arg{Key: "comps", Val: rep.Comps}, telemetry.Arg{})
+	return rep, nil
+}
+
+// streamWalk is interpretStream's instruction walk, span-free.
+func (l *Layer) streamWalk(d *descriptor.Descriptor, exec execFunc) (*Report, error) {
 	rep := newReport()
 	var pass []passInstr
 	var loopPasses [][]passInstr

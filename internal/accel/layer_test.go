@@ -179,8 +179,8 @@ func TestSpmvFunctional(t *testing.T) {
 	x := []float32{1, 2, 3}
 	rpa, cia, va := r.alloc(16), r.alloc(20), r.alloc(20)
 	xa, ya := r.alloc(12), r.alloc(12)
-	_ = r.space.WriteInt32s(rpa, rowPtr)
-	_ = r.space.WriteInt32s(cia, colIdx)
+	_ = r.space.StoreInt32s(rpa, rowPtr)
+	_ = r.space.StoreInt32s(cia, colIdx)
 	_ = r.space.StoreFloat32s(va, values)
 	_ = r.space.StoreFloat32s(xa, x)
 	d := &descriptor.Descriptor{}

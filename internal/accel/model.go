@@ -8,6 +8,7 @@ import (
 	"mealib/internal/noc"
 	"mealib/internal/phys"
 	"mealib/internal/power"
+	"mealib/internal/telemetry"
 	"mealib/internal/units"
 )
 
@@ -61,6 +62,13 @@ type Config struct {
 	// byte-identical spaces and identical reports; iterations whose spans
 	// overlap fall back to serial automatically.
 	Workers int
+
+	// Tracer, when non-nil, receives execution spans (descriptor launches,
+	// plan lowering, waves, nodes, streaming fallbacks) and feeds the
+	// accelerator metrics (launches, waves/launch, wave width, per-opcode
+	// ns and pJ, bytes moved). nil disables telemetry; the hot path then
+	// pays a single branch per instrumentation point and zero allocations.
+	Tracer *telemetry.Tracer
 
 	// PassConfigLatency is charged once per pass entry: the decode unit
 	// activating accelerators and each accelerator fetching its

@@ -244,10 +244,10 @@ func TestDifferentialSpmvLoopFallsBackSerial(t *testing.T) {
 		va := r.alloc(4 * nnz)
 		xa := r.alloc(4 * cols)
 		ya := r.alloc(4 * m)
-		if err := r.space.WriteInt32s(rpa, rowPtr); err != nil {
+		if err := r.space.StoreInt32s(rpa, rowPtr); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.space.WriteInt32s(cia, colIdx); err != nil {
+		if err := r.space.StoreInt32s(cia, colIdx); err != nil {
 			t.Fatal(err)
 		}
 		storeRandF32(t, r, va, nnz, 51)

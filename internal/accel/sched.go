@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mealib/internal/telemetry"
 	"mealib/internal/units"
 )
 
@@ -44,10 +45,17 @@ func (l *Layer) planWorkers(p *plan) int {
 
 // runNode executes one node into a fresh sub-report: the pass datapath at
 // the node's iteration, the iteration-dispatch charge if the node closes
-// an iteration, and the model-collapse scale.
-func (l *Layer) runNode(exec execFunc, nd *planNode) (*Report, error) {
+// an iteration, and the model-collapse scale. The node's span lands on tb,
+// the buffer of whichever goroutine runs it.
+func (l *Layer) runNode(exec execFunc, nd *planNode, tb *telemetry.Buf) (*Report, error) {
+	name := "node"
+	if len(nd.pass) > 0 {
+		name = nd.pass[0].op.String()
+	}
+	tb.Begin(telemetry.SpanNode, name)
 	sub := newReport()
 	if err := l.runPass(exec, nd.pass, nd.it, sub); err != nil {
+		tb.End(telemetry.SpanNode, 0)
 		return nil, err
 	}
 	if nd.dispatch {
@@ -56,6 +64,10 @@ func (l *Layer) runNode(exec execFunc, nd *planNode) (*Report, error) {
 	if nd.scale > 1 {
 		sub.scale(nd.scale)
 	}
+	tb.End2(telemetry.SpanNode, sub.Time,
+		telemetry.Arg{Key: "scale", Val: nd.scale},
+		telemetry.Arg{Key: "comps", Val: sub.Comps})
+	l.met.nodes.Add(1)
 	return sub, nil
 }
 
@@ -80,15 +92,16 @@ func (r *Report) scale(n int64) {
 // runPlan executes the plan with the given evaluator and returns the
 // merged report. The first error in node order wins, matching what serial
 // execution would have returned.
-func (l *Layer) runPlan(p *plan, exec execFunc) (*Report, error) {
+func (l *Layer) runPlan(p *plan, exec execFunc, tb *telemetry.Buf) (*Report, error) {
 	rep := newReport()
 	rep.Time += p.fixed
 	workers := l.planWorkers(p)
+	l.met.wavesPerLaunch.Observe(int64(len(p.waves)))
 	if workers <= 1 {
 		// Serial: node order is a topological order (edges always point
 		// forward), so in-order execution respects every edge.
 		for k := range p.nodes {
-			sub, err := l.runNode(exec, &p.nodes[k])
+			sub, err := l.runNode(exec, &p.nodes[k], tb)
 			if err != nil {
 				return nil, err
 			}
@@ -99,12 +112,14 @@ func (l *Layer) runPlan(p *plan, exec execFunc) (*Report, error) {
 	subs := make([]*Report, len(p.nodes))
 	errs := make([]error, len(p.nodes))
 	failed := false
-	for _, wave := range p.waves {
+	for wi, wave := range p.waves {
+		l.met.waveWidth.Observe(int64(len(wave)))
+		tb.Begin(telemetry.SpanWave, "wave")
 		if len(wave) == 1 {
 			// Single-node waves run inline: a serial chain (SPMV loop,
 			// chained passes) must not pay goroutine hand-off per node.
 			k := wave[0]
-			subs[k], errs[k] = l.runNode(exec, &p.nodes[k])
+			subs[k], errs[k] = l.runNode(exec, &p.nodes[k], tb)
 		} else {
 			w := workers
 			if w > len(wave) {
@@ -116,18 +131,25 @@ func (l *Layer) runPlan(p *plan, exec execFunc) (*Report, error) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					// Each wave worker records onto its own buffer; the
+					// coordinator's wave span brackets them all.
+					wb := l.tr.Buffer(telemetry.TrackAccel)
+					defer wb.Release()
 					for {
 						pos := next.Add(1) - 1
 						if pos >= int64(len(wave)) {
 							return
 						}
 						k := wave[pos]
-						subs[k], errs[k] = l.runNode(exec, &p.nodes[k])
+						subs[k], errs[k] = l.runNode(exec, &p.nodes[k], wb)
 					}
 				}()
 			}
 			wg.Wait()
 		}
+		tb.End2(telemetry.SpanWave, 0,
+			telemetry.Arg{Key: "wave", Val: int64(wi)},
+			telemetry.Arg{Key: "width", Val: int64(len(wave))})
 		for _, k := range wave {
 			if errs[k] != nil {
 				failed = true

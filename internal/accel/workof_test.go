@@ -33,8 +33,8 @@ func TestWorkOfMatchesFunctionalCores(t *testing.T) {
 		values[2*i+1] = 2
 	}
 	rpa, cia, va := r.alloc(4*(n+1)), r.alloc(8*n), r.alloc(8*n)
-	_ = r.space.WriteInt32s(rpa, rowPtr)
-	_ = r.space.WriteInt32s(cia, colIdx)
+	_ = r.space.StoreInt32s(rpa, rowPtr)
+	_ = r.space.StoreInt32s(cia, colIdx)
 	_ = r.space.StoreFloat32s(va, values)
 
 	cases := []struct {

@@ -15,7 +15,10 @@ import (
 // randomness has to flow through rand.New(rand.NewSource(seed)).
 //
 // internal/exp is exempt: it hosts the experiment harness, where
-// wall-clock measurement is the whole point.
+// wall-clock measurement is the whole point. internal/telemetry is exempt
+// for the same reason: it stamps trace events with monotonic wall time
+// alongside the model clocks, and nothing in the simulator reads those
+// stamps back — model outputs stay deterministic.
 type detrand struct{}
 
 func (detrand) Name() string { return "detrand" }
@@ -39,6 +42,9 @@ func (detrand) Run(p *Pkg) []Diagnostic {
 		return nil
 	}
 	if path == mod+"/internal/exp" || strings.HasPrefix(path, mod+"/internal/exp/") {
+		return nil
+	}
+	if path == mod+"/internal/telemetry" {
 		return nil
 	}
 	var out []Diagnostic

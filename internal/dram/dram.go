@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"mealib/internal/phys"
+	"mealib/internal/telemetry"
 	"mealib/internal/units"
 )
 
@@ -210,7 +211,13 @@ type Simulator struct {
 	busWater []units.Seconds
 	stats    Stats
 	finish   units.Seconds
+	// tr, when non-nil, records one dram_pass span per Run (nil: free).
+	tr *telemetry.Tracer
 }
+
+// SetTracer attaches a telemetry tracer: each subsequent Run records a
+// DRAM-pass span with the trace's request, byte and row-hit counts.
+func (s *Simulator) SetTracer(tr *telemetry.Tracer) { s.tr = tr }
 
 // NewSimulator returns a simulator for cfg.
 func NewSimulator(cfg *Config) (*Simulator, error) {
@@ -327,10 +334,25 @@ func (s *Simulator) Access(req Request) units.Seconds {
 
 // Run services a whole trace and returns the final statistics.
 func (s *Simulator) Run(trace []Request) Stats {
+	tb := s.tr.Buffer(telemetry.TrackDRAM)
+	defer tb.Release()
+	tb.Begin(telemetry.SpanDRAMPass, s.cfg.Name)
 	for _, r := range trace {
 		s.Access(r)
 	}
-	return s.Finalize()
+	st := s.Finalize()
+	tb.End2(telemetry.SpanDRAMPass, st.Time,
+		telemetry.Arg{Key: "requests", Val: st.Reads + st.Writes},
+		telemetry.Arg{Key: "row_hits", Val: st.RowHits})
+	if s.tr != nil {
+		reg := s.tr.Metrics()
+		reg.Counter("dram.passes").Add(1)
+		reg.Counter("dram.requests").Add(st.Reads + st.Writes)
+		reg.Counter("dram.bytes").Add(int64(st.Bytes()))
+		reg.Counter("dram.row_hits").Add(st.RowHits)
+		reg.Counter("dram.row_misses").Add(st.RowMisses)
+	}
+	return st
 }
 
 // Finalize charges background energy for the elapsed time and returns a

@@ -252,10 +252,10 @@ func microCases() []microCase {
 			va := m.alloc(4 * nnz)
 			xa := m.alloc(4 * rows)
 			ya := m.alloc(4 * rows)
-			if err := m.space.WriteInt32s(rpa, rowPtr); err != nil {
+			if err := m.space.StoreInt32s(rpa, rowPtr); err != nil {
 				return nil, nil, err
 			}
-			if err := m.space.WriteInt32s(cia, colIdx); err != nil {
+			if err := m.space.StoreInt32s(cia, colIdx); err != nil {
 				return nil, nil, err
 			}
 			if err := m.space.StoreFloat32s(va, values); err != nil {

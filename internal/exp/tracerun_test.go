@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mealib/internal/apps/stap"
+	"mealib/internal/telemetry"
+)
+
+// tinyStap is the functional-test-sized STAP problem (NBlocks*Dof*TBS must
+// fit the datacube's reuse pattern; TBS >= Dof keeps covariance non-singular).
+func tinyStap() stap.Params {
+	return stap.Params{Name: "tiny", NChan: 4, NPulses: 8, NRange: 256,
+		NBlocks: 2, NSteering: 4, TDOF: 2, TBS: 16}
+}
+
+// TestTraceSTAPChromeGolden is the golden-file test for the exporter: a
+// traced STAP run must emit a parseable Chrome trace_event JSON stream with
+// monotone per-thread timestamps, matched B/E pairs, and every layer of the
+// stack represented as its own track.
+func TestTraceSTAPChromeGolden(t *testing.T) {
+	tr := telemetry.New()
+	if err := TraceSTAP(tr, tinyStap()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	chk, err := telemetry.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("traced STAP run emitted an invalid Chrome trace: %v", err)
+	}
+	if chk.Events == 0 {
+		t.Fatal("trace carries no events")
+	}
+	// The acceptance bar is >= 3 distinct track kinds; a STAP run actually
+	// exercises all five layers.
+	want := []string{telemetry.TrackAccel, telemetry.TrackApp, telemetry.TrackDRAM,
+		telemetry.TrackHost, telemetry.TrackRuntime}
+	for _, k := range want {
+		found := false
+		for _, got := range chk.TrackKinds {
+			if got == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("track kind %q missing from trace (got %v)", k, chk.TrackKinds)
+		}
+	}
+	if len(chk.TrackKinds) < 3 {
+		t.Fatalf("only %d track kinds: %v, want >= 3", len(chk.TrackKinds), chk.TrackKinds)
+	}
+	// Every span category the pipeline exercises must appear: accelerator
+	// launches, runtime submits, host library work, DRAM passes, app stages.
+	for _, cat := range []string{"launch", "submit", "flight", "wait", "stage", "host", "dram_pass", "plan_lower"} {
+		if chk.Spans[cat] == 0 {
+			t.Errorf("span category %q missing from trace (got %v)", cat, chk.Spans)
+		}
+	}
+	// STAP launches two accelerator plans, so at least two launch spans.
+	if chk.Spans["launch"] < 2 {
+		t.Errorf("launch spans = %d, want >= 2", chk.Spans["launch"])
+	}
+
+	// The metrics snapshot must carry the admission/launch counters the docs
+	// point users at.
+	snap := tr.Metrics().Snapshot()
+	for _, c := range []string{"rt.submits", "accel.launches", "dram.passes", "app.stages"} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("counter %q missing or zero in snapshot: %v", c, snap.Counters)
+		}
+	}
+	if _, ok := snap.Histograms["accel.waves_per_launch"]; !ok {
+		t.Error("histogram accel.waves_per_launch missing from snapshot")
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "accel") || !strings.Contains(sum, "rt.submits") {
+		t.Errorf("Summary missing expected sections:\n%s", sum)
+	}
+}
+
+// TestTraceMicroWorkloads runs every traced micro op end to end and checks
+// the resulting traces validate — including the admission stall the
+// conflicting resubmission forces.
+func TestTraceMicroWorkloads(t *testing.T) {
+	for _, op := range []string{"AXPY", "DOT", "FFT"} {
+		t.Run(op, func(t *testing.T) {
+			tr := telemetry.New()
+			if err := TraceMicro(tr, op); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteChromeTrace(&buf); err != nil {
+				t.Fatal(err)
+			}
+			chk, err := telemetry.ValidateChromeTrace(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chk.Spans["launch"] < 3 {
+				t.Errorf("launch spans = %d, want >= 3 (two overlapped + one resubmission)", chk.Spans["launch"])
+			}
+			if got := tr.Metrics().Snapshot().Counters["rt.admission_stalls"]; got < 1 {
+				t.Errorf("admission stalls = %d, want >= 1 from the conflicting resubmission", got)
+			}
+		})
+	}
+	if err := TraceMicro(telemetry.New(), "NOPE"); err == nil {
+		t.Error("unknown op must error")
+	}
+}
+
+func TestTraceSAR(t *testing.T) {
+	tr := telemetry.New()
+	if err := TraceSAR(tr, 64); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	chk, err := telemetry.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chained (1) + separate (2) = three accelerator launches.
+	if chk.Spans["launch"] != 3 {
+		t.Errorf("launch spans = %d, want 3", chk.Spans["launch"])
+	}
+}

@@ -1,0 +1,59 @@
+package mealibrt
+
+import "mealib/internal/units"
+
+// Host idle-energy accounting for overlapping flights (ROADMAP item:
+// flight-aware energy). While any descriptor is in flight the link
+// controller blocks the host's DRAM accesses, so the host sits idle and
+// burns IdlePower — but it is one host: two overlapping flights share the
+// same idle window, they don't each idle the host for their full span.
+// idleWindows unions the billed model-time windows so each instant of
+// host idleness is billed exactly once, to the first flight that retires
+// over it. Serial flights occupy disjoint windows and keep billing their
+// full span, so single-launch accounting is unchanged.
+
+// idleIvl is one billed window [start, end) on the model timeline.
+type idleIvl struct {
+	start, end units.Seconds
+}
+
+// idleWindows is a sorted, disjoint set of billed windows. Adjacent and
+// overlapping windows coalesce on insert, so the set stays proportional
+// to the number of gaps in the launch history (typically one element).
+type idleWindows struct {
+	ivls []idleIvl
+}
+
+// add bills the window [start, end) and returns the portion of its
+// duration not already billed to an earlier flight.
+func (w *idleWindows) add(start, end units.Seconds) units.Seconds {
+	if end <= start {
+		return 0
+	}
+	gained := end - start
+	merged := make([]idleIvl, 0, len(w.ivls)+1)
+	i := 0
+	for ; i < len(w.ivls) && w.ivls[i].end < start; i++ {
+		merged = append(merged, w.ivls[i])
+	}
+	ns, ne := start, end
+	for ; i < len(w.ivls) && w.ivls[i].start <= end; i++ {
+		ov := min(w.ivls[i].end, end) - max(w.ivls[i].start, start)
+		if ov > 0 {
+			gained -= ov
+		}
+		if w.ivls[i].start < ns {
+			ns = w.ivls[i].start
+		}
+		if w.ivls[i].end > ne {
+			ne = w.ivls[i].end
+		}
+	}
+	merged = append(merged, idleIvl{start: ns, end: ne})
+	merged = append(merged, w.ivls[i:]...)
+	w.ivls = merged
+	if gained < 0 {
+		gained = 0
+	}
+	return gained
+}

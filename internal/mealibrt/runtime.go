@@ -21,6 +21,7 @@ import (
 	"mealib/internal/descriptor"
 	"mealib/internal/phys"
 	"mealib/internal/tdl"
+	"mealib/internal/telemetry"
 	"mealib/internal/units"
 	"mealib/internal/vm"
 )
@@ -51,6 +52,12 @@ type Config struct {
 	// through Plan.Submit (0 = unlimited). Submissions past the cap block
 	// in admission until a flight completes.
 	MaxInFlight int
+	// Tracer, when non-nil, records runtime execution spans (Submit,
+	// admission stalls, flights, Wait) and metrics, and propagates into
+	// the accelerator layer (launches, waves, nodes) unless the Accel
+	// config carries its own tracer. nil disables telemetry at zero
+	// hot-path cost.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns the paper's system: a Haswell host in front of one
@@ -80,6 +87,13 @@ type Runtime struct {
 	// link arbitrates DRAM ownership between the host and the
 	// accelerators (paper §2.1).
 	link accel.LinkController
+	// tr records execution spans (nil: telemetry disabled); the handles
+	// below are resolved once at New and are themselves concurrency-safe,
+	// so none of this needs mu.
+	tr        *telemetry.Tracer
+	mSubmits  *telemetry.Counter
+	mStalls   *telemetry.Counter
+	mInflight *telemetry.Gauge
 	// cond (bound to mu) wakes admission waiters when a flight completes.
 	cond *sync.Cond
 	// mu guards every field below: the coherence/verification state and
@@ -99,12 +113,21 @@ type Runtime struct {
 	// currently executing; Submit admits a new plan only when its spans
 	// do not conflict with them.
 	inflight []*flight
+	// clock is the model-time frontier: flights start at the current
+	// frontier and push it forward as they retire.
+	clock units.Seconds
+	// billedIdle unions the model-time windows whose host idle energy has
+	// already been billed, so overlapping flights split the shared window
+	// instead of each billing it in full (see idle.go).
+	billedIdle idleWindows
 }
 
 // flight is one in-flight descriptor execution.
 type flight struct {
 	reads  []tdlcheck.Span
 	writes []tdlcheck.Span
+	// start is the model time the flight was admitted at.
+	start units.Seconds
 }
 
 // Stats aggregates invocation accounting across the runtime's lifetime
@@ -115,6 +138,9 @@ type Stats struct {
 	OverheadEnergy units.Joules
 	AccelTime      units.Seconds
 	AccelEnergy    units.Joules
+	// HostIdleEnergy is the blocked host's idle burn across all flights,
+	// with each overlapping model-time window billed exactly once.
+	HostIdleEnergy units.Joules
 }
 
 // New builds a runtime.
@@ -141,11 +167,18 @@ func New(cfg *Config) (*Runtime, error) {
 	if cfg.Workers != 0 {
 		accelCfg.Workers = cfg.Workers
 	}
+	if accelCfg.Tracer == nil {
+		accelCfg.Tracer = cfg.Tracer
+	}
 	layer, err := accel.NewLayer(&accelCfg)
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{cfg: cfg, space: space, driver: driver, layer: layer}
+	rt := &Runtime{cfg: cfg, space: space, driver: driver, layer: layer, tr: cfg.Tracer}
+	reg := cfg.Tracer.Metrics()
+	rt.mSubmits = reg.Counter("rt.submits")
+	rt.mStalls = reg.Counter("rt.admission_stalls")
+	rt.mInflight = reg.Gauge("rt.inflight")
 	rt.cond = sync.NewCond(&rt.mu)
 	return rt, nil
 }
@@ -294,7 +327,7 @@ func (b *Buffer) StoreInt32s(off units.Bytes, v []int32) error {
 		return err
 	}
 	b.touch(off, units.Bytes(4*len(v)))
-	return b.rt.space.WriteInt32s(b.pa+phys.Addr(off), v)
+	return b.rt.space.StoreInt32s(b.pa+phys.Addr(off), v)
 }
 
 // LoadInt32s reads n int32 values at byte offset off.
@@ -302,7 +335,7 @@ func (b *Buffer) LoadInt32s(off units.Bytes, n int) ([]int32, error) {
 	if err := b.rt.hostAccess(); err != nil {
 		return nil, err
 	}
-	return b.rt.space.ReadInt32s(b.pa+phys.Addr(off), n)
+	return b.rt.space.LoadInt32s(b.pa+phys.Addr(off), n)
 }
 
 // WriteInt32s writes v at byte offset off.
@@ -413,6 +446,9 @@ type Invocation struct {
 	OverheadEnergy units.Joules
 	// HostIdleEnergy is what the blocked host burns while the
 	// accelerators run (the link controller blocks its DRAM accesses).
+	// Overlapping flights share the host: each model-time instant is
+	// billed to exactly one invocation, so summing HostIdleEnergy across
+	// concurrent invocations never double-counts the idle window.
 	HostIdleEnergy units.Joules
 }
 
@@ -440,6 +476,7 @@ func InvocationOverhead(h *cpu.Host, setup units.Seconds, descSize, dirty units.
 // not yet waited for.
 type PendingInvocation struct {
 	done chan struct{}
+	tr   *telemetry.Tracer
 	inv  *Invocation
 	err  error
 }
@@ -448,7 +485,15 @@ type PendingInvocation struct {
 // invocation outcome. Wait may be called at most once per Submit from any
 // goroutine; further calls return the same result.
 func (pi *PendingInvocation) Wait() (*Invocation, error) {
+	tb := pi.tr.Buffer(telemetry.TrackRuntime)
+	tb.Begin(telemetry.SpanWait, "wait")
 	<-pi.done
+	var model units.Seconds
+	if pi.inv != nil {
+		model = pi.inv.Report.Time
+	}
+	tb.End(telemetry.SpanWait, model)
+	tb.Release()
 	return pi.inv, pi.err
 }
 
@@ -463,9 +508,20 @@ func (p *Plan) Submit() (*PendingInvocation, error) {
 	if p.baseVA == 0 {
 		return nil, fmt.Errorf("mealibrt: plan already destroyed")
 	}
+	tb := r.tr.Buffer(telemetry.TrackRuntime)
+	defer tb.Release()
+	tb.Begin(telemetry.SpanSubmit, "submit")
 	r.mu.Lock()
-	for r.blockedLocked(p) {
-		r.cond.Wait()
+	if r.blockedLocked(p) {
+		// The admission span covers only actual stalls, so an uncontended
+		// Submit shows a single submit span in the trace.
+		r.mStalls.Add(1)
+		tb.Begin(telemetry.SpanAdmission, "admission")
+		for r.blockedLocked(p) {
+			r.cond.Wait()
+		}
+		tb.End2(telemetry.SpanAdmission, 0,
+			telemetry.Arg{Key: "inflight", Val: int64(len(r.inflight))}, telemetry.Arg{})
 	}
 	// Launch-time verification: admission has drained every in-flight
 	// writer overlapping this plan's reads, so the initialized set is
@@ -473,6 +529,7 @@ func (p *Plan) Submit() (*PendingInvocation, error) {
 	if !r.cfg.NoVerify {
 		if err := tdlcheck.VerifyDescriptor(p.desc, tdlcheck.WithInitialized(r.initialized.all()...)); err != nil {
 			r.mu.Unlock()
+			tb.End(telemetry.SpanSubmit, 0)
 			return nil, fmt.Errorf("mealibrt: launch rejected by the static verifier: %w", err)
 		}
 	}
@@ -481,22 +538,32 @@ func (p *Plan) Submit() (*PendingInvocation, error) {
 		dirty = llc
 	}
 	r.dirty = 0
-	fl := &flight{reads: p.reads, writes: p.writes}
+	// The flight occupies the model-time window [clock, clock+Report.Time):
+	// concurrent flights are admitted at the same frontier precisely
+	// because the hardware runs them concurrently.
+	fl := &flight{reads: p.reads, writes: p.writes, start: r.clock}
 	r.inflight = append(r.inflight, fl)
+	r.mInflight.Set(int64(len(r.inflight)))
 	r.mu.Unlock()
 
 	ovT, ovE := InvocationOverhead(r.cfg.Host, r.cfg.DescriptorSetupLatency, p.desc.Size(), dirty)
 	if err := descriptor.WriteCommand(r.space, p.basePA, descriptor.CmdStart); err != nil {
 		r.finishFlight(fl)
+		tb.End(telemetry.SpanSubmit, 0)
 		return nil, err
 	}
 	// Ownership of the DRAM passes to the accelerators for the duration of
 	// the flight (paper §2.1): the first flight blocks host accesses, the
 	// last completion hands ownership back.
 	r.link.AcquireShared()
-	pi := &PendingInvocation{done: make(chan struct{})}
+	r.mSubmits.Add(1)
+	tb.Instant(telemetry.SpanSubmit, "doorbell")
+	pi := &PendingInvocation{done: make(chan struct{}), tr: r.tr}
 	go func() {
 		defer close(pi.done)
+		fb := r.tr.Buffer(telemetry.TrackRuntime)
+		defer fb.Release()
+		fb.Begin(telemetry.SpanFlight, "flight")
 		rep, err := r.layer.Run(r.space, p.basePA)
 		if relErr := r.link.ReleaseShared(); relErr != nil && err == nil {
 			err = relErr
@@ -504,17 +571,20 @@ func (p *Plan) Submit() (*PendingInvocation, error) {
 		if err != nil {
 			pi.err = err
 			r.finishFlight(fl)
+			fb.End(telemetry.SpanFlight, 0)
 			return
 		}
-		idle := r.cfg.Host.Wait(rep.Time)
+		idleE := r.retire(fl, p.writes, rep, ovT, ovE)
 		pi.inv = &Invocation{
 			Report:         rep,
 			OverheadTime:   ovT,
 			OverheadEnergy: ovE,
-			HostIdleEnergy: idle.Energy,
+			HostIdleEnergy: idleE,
 		}
-		r.retire(fl, p.writes, rep, ovT, ovE)
+		fb.End2(telemetry.SpanFlight, rep.Time,
+			telemetry.Arg{Key: "comps", Val: rep.Comps}, telemetry.Arg{})
 	}()
+	tb.End(telemetry.SpanSubmit, ovT)
 	return pi, nil
 }
 
@@ -549,20 +619,32 @@ func spansOverlap(a, b []tdlcheck.Span) bool {
 
 // retire completes a successful flight: the descriptor's writes become live
 // data for subsequent launches, the accounting lands in Stats, and
-// admission waiters are woken.
-func (r *Runtime) retire(fl *flight, writes []tdlcheck.Span, rep *accel.Report, ovT units.Seconds, ovE units.Joules) {
+// admission waiters are woken. The returned energy is the host-idle bill
+// for the portion of the flight's model-time window no earlier flight
+// already covered — overlapping flights split the shared idle window
+// instead of double-counting it.
+func (r *Runtime) retire(fl *flight, writes []tdlcheck.Span, rep *accel.Report, ovT units.Seconds, ovE units.Joules) units.Joules {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, s := range writes {
 		r.initialized.add(s)
 	}
+	end := fl.start + rep.Time
+	newIdle := r.billedIdle.add(fl.start, end)
+	if end > r.clock {
+		r.clock = end
+	}
+	idleE := r.cfg.Host.Wait(newIdle).Energy
 	r.stats.Invocations++
 	r.stats.OverheadTime += ovT
 	r.stats.OverheadEnergy += ovE
 	r.stats.AccelTime += rep.Time
 	r.stats.AccelEnergy += rep.Energy
+	r.stats.HostIdleEnergy += idleE
 	r.removeFlightLocked(fl)
+	r.mInflight.Set(int64(len(r.inflight)))
 	r.cond.Broadcast()
+	return idleE
 }
 
 // finishFlight unregisters a flight that failed before or during execution.
@@ -570,6 +652,7 @@ func (r *Runtime) finishFlight(fl *flight) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.removeFlightLocked(fl)
+	r.mInflight.Set(int64(len(r.inflight)))
 	r.cond.Broadcast()
 }
 

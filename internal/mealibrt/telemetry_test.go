@@ -1,0 +1,104 @@
+package mealibrt
+
+import (
+	"testing"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/telemetry"
+	"mealib/internal/units"
+)
+
+// TestSubmitDisabledTelemetryZeroAllocs proves the disabled-tracer path is
+// free: with Config.Tracer nil, every telemetry call the Submit/flight/Wait
+// and accel launch paths make — buffer acquire/release, span begin/end,
+// instants, counter/gauge/histogram updates — must be a nil-receiver no-op
+// with zero allocations. This is the contract that lets the instrumentation
+// stay unconditionally inlined in the hot path.
+func TestSubmitDisabledTelemetryZeroAllocs(t *testing.T) {
+	r, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.tr != nil || r.mSubmits != nil || r.mStalls != nil || r.mInflight != nil {
+		t.Fatal("runtime without Config.Tracer must carry nil telemetry handles")
+	}
+	var h *telemetry.Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The exact shape of Submit's instrumentation.
+		tb := r.tr.Buffer(telemetry.TrackRuntime)
+		tb.Begin(telemetry.SpanSubmit, "submit")
+		tb.Begin(telemetry.SpanAdmission, "blocked")
+		tb.End(telemetry.SpanAdmission, 0)
+		r.mStalls.Add(1)
+		r.mSubmits.Add(1)
+		r.mInflight.Set(1)
+		tb.Instant(telemetry.SpanSubmit, "doorbell")
+		tb.End2(telemetry.SpanSubmit, units.Seconds(1e-6),
+			telemetry.Arg{Key: "comps", Val: 1}, telemetry.Arg{Key: "noc_bytes", Val: 64})
+		h.Observe(7)
+		tb.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-tracer telemetry sequence allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func benchmarkExecute(b *testing.B, tr *telemetry.Tracer) {
+	cfg := DefaultConfig()
+	cfg.Tracer = tr
+	r, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchAxpyPlan(b, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAxpyPlan(b *testing.B, r *Runtime) *Plan {
+	b.Helper()
+	const n = 256
+	x, err := r.MemAlloc(4 * n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := r.MemAlloc(4 * n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = float32(i)
+	}
+	if err := x.StoreFloat32s(0, buf); err != nil {
+		b.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, buf); err != nil {
+		b.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: n, Alpha: 0.5, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		b.Fatal(err)
+	}
+	d.AddEndPass()
+	p, err := r.AccPlanDescriptor(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkExecuteTracerOff is the baseline descriptor launch with telemetry
+// disabled; BenchmarkExecuteTracerOn measures the cost of recording spans and
+// metrics. Compare allocs/op between the two to see the tracing overhead.
+func BenchmarkExecuteTracerOff(b *testing.B) { benchmarkExecute(b, nil) }
+
+func BenchmarkExecuteTracerOn(b *testing.B) { benchmarkExecute(b, telemetry.New()) }

@@ -239,9 +239,9 @@ func (s *Space) StoreComplex64s(addr Addr, v []complex64) error {
 	return s.StoreFloat32s(addr, f)
 }
 
-// ReadInt32s copies n int32 values starting at addr (used for CSR index
+// LoadInt32s copies n int32 values starting at addr (used for CSR index
 // arrays consumed by the SPMV accelerator).
-func (s *Space) ReadInt32s(addr Addr, n int) ([]int32, error) {
+func (s *Space) LoadInt32s(addr Addr, n int) ([]int32, error) {
 	b, err := s.slice(addr, 4*n)
 	if err != nil {
 		return nil, err
@@ -253,8 +253,8 @@ func (s *Space) ReadInt32s(addr Addr, n int) ([]int32, error) {
 	return out, nil
 }
 
-// WriteInt32s copies v into the space starting at addr.
-func (s *Space) WriteInt32s(addr Addr, v []int32) error {
+// StoreInt32s copies v into the space starting at addr.
+func (s *Space) StoreInt32s(addr Addr, v []int32) error {
 	b, err := s.slice(addr, 4*len(v))
 	if err != nil {
 		return err
@@ -263,4 +263,20 @@ func (s *Space) WriteInt32s(addr Addr, v []int32) error {
 		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
 	}
 	return nil
+}
+
+// ReadInt32s copies n int32 values starting at addr.
+//
+// Deprecated: use LoadInt32s, which matches the Store/Load naming of the
+// other element accessors.
+func (s *Space) ReadInt32s(addr Addr, n int) ([]int32, error) {
+	return s.LoadInt32s(addr, n)
+}
+
+// WriteInt32s copies v into the space starting at addr.
+//
+// Deprecated: use StoreInt32s, which matches the Store/Load naming of the
+// other element accessors.
+func (s *Space) WriteInt32s(addr Addr, v []int32) error {
+	return s.StoreInt32s(addr, v)
 }

@@ -163,12 +163,20 @@ func TestInt32s(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := []int32{0, -1, 1 << 30, -(1 << 30)}
-	if err := s.WriteInt32s(128, in); err != nil {
+	if err := s.StoreInt32s(128, in); err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.ReadInt32s(128, len(in))
+	out, err := s.LoadInt32s(128, len(in))
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The deprecated Write/Read aliases must keep forwarding for external
+	// compatibility.
+	if err := s.WriteInt32s(512, in[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if alias, err := s.ReadInt32s(512, 1); err != nil || alias[0] != in[0] {
+		t.Fatalf("deprecated alias round-trip = %v, %v", alias, err)
 	}
 	for i := range in {
 		if in[i] != out[i] {

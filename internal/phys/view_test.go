@@ -161,7 +161,7 @@ func TestViewComplex64s(t *testing.T) {
 
 func TestViewInt32s(t *testing.T) {
 	s := viewSpace(t)
-	if err := s.WriteInt32s(0x1000, []int32{-5, 6}); err != nil {
+	if err := s.StoreInt32s(0x1000, []int32{-5, 6}); err != nil {
 		t.Fatal(err)
 	}
 	v, err := s.ViewInt32s(0x1000, 2)
@@ -175,7 +175,7 @@ func TestViewInt32s(t *testing.T) {
 	if err := v.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.ReadInt32s(0x1004, 1)
+	got, err := s.LoadInt32s(0x1004, 1)
 	if err != nil || got[0] != 100 {
 		t.Fatalf("after commit = %v, %v; want 100", got, err)
 	}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"mealib/internal/units"
+)
+
+// buildSample records a small two-track trace with nesting and instants.
+func buildSample() *Tracer {
+	tr := New()
+	a := tr.Buffer(TrackAccel)
+	a.Begin(SpanLaunch, "descriptor")
+	a.Begin(SpanPlanLower, "lower")
+	a.End2(SpanPlanLower, 0, Arg{Key: "nodes", Val: 4}, Arg{Key: "waves", Val: 2})
+	a.Begin(SpanWave, "wave")
+	a.Begin(SpanNode, "AXPY")
+	a.End(SpanNode, 3*units.Microsecond)
+	a.End2(SpanWave, 0, Arg{Key: "width", Val: 1}, Arg{})
+	a.End(SpanLaunch, 5*units.Microsecond)
+	a.Release()
+	r := tr.Buffer(TrackRuntime)
+	r.Begin(SpanSubmit, "submit")
+	r.Instant(SpanSubmit, "doorbell")
+	r.End(SpanSubmit, 0)
+	r.Release()
+	return tr
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	tr := buildSample()
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := ValidateChromeTrace([]byte(sb.String()))
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	wantKinds := []string{TrackAccel, TrackRuntime}
+	if len(tc.TrackKinds) != len(wantKinds) {
+		t.Fatalf("track kinds = %v, want %v", tc.TrackKinds, wantKinds)
+	}
+	for i, k := range wantKinds {
+		if tc.TrackKinds[i] != k {
+			t.Fatalf("track kinds = %v, want %v", tc.TrackKinds, wantKinds)
+		}
+	}
+	for _, cat := range []string{"launch", "plan_lower", "wave", "node", "submit"} {
+		if tc.Spans[cat] != 1 {
+			t.Fatalf("completed %q spans = %d, want 1 (all: %v)", cat, tc.Spans[cat], tc.Spans)
+		}
+	}
+	// 8 accel + 3 runtime events, metadata excluded.
+	if tc.Events != 11 {
+		t.Fatalf("events = %d, want 11", tc.Events)
+	}
+}
+
+func TestValidateRejectsUnbalanced(t *testing.T) {
+	bad := `{"traceEvents":[
+		{"ph":"B","cat":"launch","ts":1,"pid":1,"tid":1},
+		{"ph":"E","cat":"launch","ts":2,"pid":1,"tid":1},
+		{"ph":"E","cat":"launch","ts":3,"pid":1,"tid":1}]}`
+	if _, err := ValidateChromeTrace([]byte(bad)); err == nil {
+		t.Fatal("unbalanced E accepted")
+	}
+	open := `{"traceEvents":[{"ph":"B","cat":"launch","ts":1,"pid":1,"tid":1}]}`
+	if _, err := ValidateChromeTrace([]byte(open)); err == nil {
+		t.Fatal("unclosed B accepted")
+	}
+	cross := `{"traceEvents":[
+		{"ph":"B","cat":"launch","ts":1,"pid":1,"tid":1},
+		{"ph":"B","cat":"wave","ts":2,"pid":1,"tid":1},
+		{"ph":"E","cat":"launch","ts":3,"pid":1,"tid":1}]}`
+	if _, err := ValidateChromeTrace([]byte(cross)); err == nil {
+		t.Fatal("crossed spans accepted")
+	}
+}
+
+func TestValidateRejectsNonMonotone(t *testing.T) {
+	bad := `{"traceEvents":[
+		{"ph":"B","cat":"launch","ts":5,"pid":1,"tid":1},
+		{"ph":"E","cat":"launch","ts":4,"pid":1,"tid":1}]}`
+	if _, err := ValidateChromeTrace([]byte(bad)); err == nil {
+		t.Fatal("non-monotone timestamps accepted")
+	}
+	// Interleaved tids are independently monotone: fine.
+	ok := `{"traceEvents":[
+		{"ph":"B","cat":"launch","ts":5,"pid":1,"tid":1},
+		{"ph":"B","cat":"launch","ts":1,"pid":1,"tid":2},
+		{"ph":"E","cat":"launch","ts":6,"pid":1,"tid":1},
+		{"ph":"E","cat":"launch","ts":2,"pid":1,"tid":2}]}`
+	if _, err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Fatalf("per-tid monotone trace rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	if _, err := ValidateChromeTrace([]byte("not json")); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"ph":"X","ts":1,"pid":1,"tid":1}]}`)); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := buildSample()
+	tr.Metrics().Counter("accel.launches").Add(1)
+	tr.Metrics().Histogram("accel.wave_width").Observe(4)
+	s := tr.Summary()
+	for _, want := range []string{"launch=1", "node=1", "accel(1)", "runtime(1)",
+		"counter accel.launches = 1", "hist accel.wave_width"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -141,6 +141,10 @@ type Stats struct {
 	AccelEnergy    units.Joules
 	OverheadTime   units.Seconds
 	OverheadEnergy units.Joules
+	// HostIdleEnergy is the energy the blocked host burned while flights
+	// were in the air. Overlapping flights share the idle window — the
+	// window is billed once, not once per flight.
+	HostIdleEnergy units.Joules
 }
 
 // Stats returns the accumulated accounting.
@@ -152,6 +156,7 @@ func (s *System) Stats() Stats {
 		AccelEnergy:    st.AccelEnergy,
 		OverheadTime:   st.OverheadTime,
 		OverheadEnergy: st.OverheadEnergy,
+		HostIdleEnergy: st.HostIdleEnergy,
 	}
 }
 

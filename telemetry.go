@@ -1,0 +1,51 @@
+package mealib
+
+import (
+	"io"
+
+	"mealib/internal/mealibrt"
+	"mealib/internal/telemetry"
+)
+
+// Telemetry collects structured execution traces and metrics from a System.
+// Attach one with WithTelemetry, run the workload, then export:
+//
+//	tel := mealib.NewTelemetry()
+//	sys, _ := mealib.New(mealib.WithTelemetry(tel))
+//	... run work ...
+//	f, _ := os.Create("trace.json")
+//	tel.WriteChromeTrace(f) // load in Perfetto or chrome://tracing
+//
+// The trace shows every layer of the stack on its own track — accelerator
+// launches, plan lowering, scheduler waves and nodes, runtime submission and
+// admission, flights, host library calls — with both modelled time and
+// measured wall time. The metrics snapshot carries launch counts, wave-width
+// histograms, admission stalls, bytes moved, and per-opcode time and energy.
+//
+// A System built without WithTelemetry pays nothing: the disabled
+// instrumentation path is allocation-free no-ops.
+type Telemetry struct {
+	tr *telemetry.Tracer
+}
+
+// NewTelemetry builds an empty trace/metrics collector.
+func NewTelemetry() *Telemetry { return &Telemetry{tr: telemetry.New()} }
+
+// WithTelemetry attaches the collector to a System. One collector may be
+// shared across systems; their events land on separate tracks.
+func WithTelemetry(t *Telemetry) Option {
+	return func(c *mealibrt.Config) { c.Tracer = t.tr }
+}
+
+// WriteChromeTrace writes the collected events as Chrome trace_event JSON
+// (chrome://tracing and Perfetto both load it). Call it only after the
+// traced work has completed.
+func (t *Telemetry) WriteChromeTrace(w io.Writer) error { return t.tr.WriteChromeTrace(w) }
+
+// WriteMetricsJSON writes the counter/gauge/histogram snapshot as indented
+// JSON.
+func (t *Telemetry) WriteMetricsJSON(w io.Writer) error { return t.tr.Metrics().WriteJSON(w) }
+
+// Summary renders a human-readable digest: event and track counts, span
+// totals per kind, and every metric.
+func (t *Telemetry) Summary() string { return t.tr.Summary() }
