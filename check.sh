@@ -5,6 +5,16 @@
 set -eu
 cd "$(dirname "$0")"
 
+# One cleanup handler for every temporary directory the gates below create:
+# registering a second `trap ... EXIT` silently replaces the first, so each
+# gate appends to this list instead of installing its own trap.
+tmpdirs=""
+cleanup() {
+	# shellcheck disable=SC2086 # word-splitting the list is the point
+	[ -n "$tmpdirs" ] && rm -rf $tmpdirs
+}
+trap cleanup EXIT
+
 echo "==> go build ./..."
 go build ./...
 
@@ -21,16 +31,19 @@ go test -race -run 'Differential|Submit|ExplainPlan|PlanInterleaves' \
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> mealint flag smoke (-analyzers filter, -json output)"
+test "$(go run ./cmd/mealint -analyzers addrflow -json ./internal/phys)" = "[]"
+
 echo "==> mealib-bench -micro smoke (AXPY, scheduler on/off)"
 microdir=$(mktemp -d)
-trap 'rm -rf "$microdir"' EXIT
+tmpdirs="$tmpdirs $microdir"
 go run ./cmd/mealib-bench -micro "$microdir" -ops AXPY >/dev/null
 test -s "$microdir/BENCH_AXPY.json"
 grep -q speedup_vs_serial "$microdir/BENCH_AXPY.json"
 
 echo "==> mealib-trace e2e smoke (traced micro AXPY, validated export)"
 tracedir=$(mktemp -d)
-trap 'rm -rf "$microdir" "$tracedir"' EXIT
+tmpdirs="$tmpdirs $tracedir"
 # The CLI validates the trace itself (monotone timestamps, matched B/E
 # spans) and exits non-zero on a bad one; here we additionally check both
 # artifacts landed with content.

@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	mealint [-list] [-run name,name] [packages]
+//	mealint [-list] [-analyzers name,name] [-json] [packages]
 //
 // Package patterns are directories relative to the working directory;
 // "dir/..." recurses (testdata, hidden and underscore directories are
 // skipped). With no patterns, ./... is analyzed. Test files are included.
-// Exits 1 when any diagnostic is reported, 2 on usage or load errors.
+// -analyzers restricts the run to the named analyzers (-run is an alias,
+// kept for compatibility); -json emits the diagnostics as a JSON array for
+// CI annotation tooling. Exits 1 when any diagnostic is reported, 2 on
+// usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +27,20 @@ import (
 	"mealib/internal/analysis"
 )
 
+// jsonDiag is one diagnostic in -json output form.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
-	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	run := flag.String("run", "", "alias for -analyzers")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -35,10 +50,14 @@ func main() {
 		return
 	}
 
+	filter := *names
+	if filter == "" {
+		filter = *run
+	}
 	analyzers := analysis.Analyzers()
-	if *run != "" {
+	if filter != "" {
 		analyzers = nil
-		for _, name := range strings.Split(*run, ",") {
+		for _, name := range strings.Split(filter, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
 				fmt.Fprintf(os.Stderr, "mealint: unknown analyzer %q (try -list)\n", name)
@@ -70,12 +89,35 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		return name
+	}
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     rel(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mealint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			pos := d.Pos
+			pos.Filename = rel(pos.Filename)
+			fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -1,0 +1,574 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// addrflow is the points-to/address-flow pass that closes the
+// span-laundering hole in the runtime's initialized-span tracking. The
+// runtime and verifier reason about physical addresses through the
+// phys.Addr type: Buffer.PA(), Region.Addr() and descriptor operands all
+// carry it, and every Store/Load accessor, view constructor and span
+// builder that re-enters the simulated memory consumes it. That provenance
+// is exactly what a `uintptr`/`int64` round trip destroys — an address
+// washed through bare integer arithmetic and re-cast to phys.Addr looks
+// freshly minted to the span tracker, so a host write through it never
+// lands in the initialized set and the launch-time read-before-write check
+// silently passes (the escape-analysis hole ROADMAP carried since PR 4).
+//
+// addrflow builds a lightweight SSA-lite value graph per function
+// (flow-insensitive def-use chains over the go/types-resolved AST) and
+// runs a taint analysis on it:
+//
+//   - sources: every value of static type phys.Addr (accessor results,
+//     parameters, fields) plus known provenance-stripping helpers
+//     (descriptor.AddrField);
+//   - propagation: arithmetic, conversions, assignments, composite
+//     literals, selectors, indexing and ranges — a container holding a
+//     laundered value is itself laundered;
+//   - laundering: a conversion of a tainted value to a bare integer type
+//     (uintptr, intN, uintN) sets the laundered bit; converting back to
+//     phys.Addr does not clear it — the round trip is the bug. One
+//     exception: converting the difference of two addresses (end - start)
+//     extracts an offset, not an address — ptr - ptr carries no
+//     provenance, so size math over typed spans stays clean;
+//   - sinks: call arguments declared as phys.Addr and struct fields of
+//     type phys.Addr (composite literals and field assignments) — the
+//     positions where a value re-enters the address space;
+//   - escapes: a laundered value flowing into an indirect call, an
+//     interface-typed location, a channel send or a package-level
+//     variable is reported conservatively — the pass cannot follow it,
+//     so it cannot prove the provenance is ever restored honestly.
+//
+// A clean phys.Addr reaching a sink is the normal idiom (base + typed
+// offset arithmetic keeps provenance) and is never reported. Laundered
+// values that stay in the integer domain — comparisons, modulo alignment
+// checks, hashing, formatting through concrete calls like fmt.Sprintf —
+// are boundaries, not violations: they never re-enter the address space.
+// The analysis is intraprocedural by design; concrete calls with bare
+// integer parameters are trust boundaries (the callee's own body is
+// analyzed on its own terms), which keeps the pass fast and the findings
+// precise enough to gate CI on.
+type addrflow struct{}
+
+func (addrflow) Name() string { return "addrflow" }
+
+func (addrflow) Doc() string {
+	return "phys.Addr provenance laundered through bare integer arithmetic re-entering an address sink"
+}
+
+// Taint lattice: a value can be address-derived, and additionally
+// laundered once it has passed through a bare integer type.
+type aflowState uint8
+
+const (
+	afTaint aflowState = 1 << iota // derived from a phys.Addr value
+	afLaund                        // passed through a bare integer type
+)
+
+func (s aflowState) laundered() bool { return s&afTaint != 0 && s&afLaund != 0 }
+
+// aflowFunc analyzes one function body: the variable environment maps
+// every local object to the join of everything assigned to it anywhere in
+// the body (flow-insensitive), computed to a fixpoint so loop-carried
+// chains (p := base; for { p = advance(p) }) converge.
+type aflowFunc struct {
+	p    *Pkg
+	vars map[types.Object]aflowState
+	out  *[]Diagnostic
+}
+
+func (addrflow) Run(p *Pkg) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			af := &aflowFunc{p: p, vars: make(map[types.Object]aflowState), out: &out}
+			af.solve(fd.Body)
+			af.report(fd.Body)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// isPhysAddr reports whether t (or its alias target) is phys.Addr.
+func isPhysAddr(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Name() == "Addr" &&
+		(obj.Pkg().Path() == "mealib/internal/phys" || obj.Pkg().Path() == "internal/phys")
+}
+
+// isBareInt reports whether t is an integer type that erases address
+// provenance: any basic integer kind, uintptr included, and named types
+// defined over them that are not phys.Addr itself.
+func isBareInt(t types.Type) bool {
+	if isPhysAddr(t) {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// launderHelpers lists module functions that strip provenance by
+// contract (descriptor field packing): their result carries a laundered
+// address even though the pass cannot see their bodies from the caller.
+func isLaunderHelper(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Name() == "AddrField" && fn.Pkg().Path() == "mealib/internal/descriptor"
+}
+
+// solve runs the assignment-collection fixpoint over one body.
+func (af *aflowFunc) solve(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				changed = af.assign(st) || changed
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					if i < len(st.Values) {
+						changed = af.joinObj(af.objOf(name), af.state(st.Values[i])) || changed
+					}
+				}
+			case *ast.RangeStmt:
+				s := af.state(st.X)
+				if st.Key != nil {
+					changed = af.joinLHS(st.Key, 0) || changed
+				}
+				if st.Value != nil {
+					changed = af.joinLHS(st.Value, s) || changed
+				}
+			}
+			return true
+		})
+	}
+}
+
+// assign merges one assignment statement into the environment.
+func (af *aflowFunc) assign(st *ast.AssignStmt) bool {
+	changed := false
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			s := af.state(st.Rhs[i])
+			if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+				// op=: the result also derives from the current LHS value.
+				s |= af.state(lhs)
+			}
+			changed = af.joinLHS(lhs, s) || changed
+		}
+		return changed
+	}
+	// Multi-value RHS (call, type assert, map index): a call is a trust
+	// boundary, comma-ok forms propagate the container's state.
+	var s aflowState
+	if len(st.Rhs) == 1 {
+		if _, isCall := unparen(st.Rhs[0]).(*ast.CallExpr); !isCall {
+			s = af.state(st.Rhs[0])
+		}
+	}
+	for _, lhs := range st.Lhs {
+		changed = af.joinLHS(lhs, s) || changed
+	}
+	return changed
+}
+
+// joinLHS merges a state into the object at the root of an assignable
+// expression: x, x.f, x[i], *x all accumulate into x, so a struct or slice
+// holding a laundered value marks the whole container.
+func (af *aflowFunc) joinLHS(lhs ast.Expr, s aflowState) bool {
+	if s == 0 {
+		return false
+	}
+	obj := af.rootObj(lhs)
+	return af.joinObj(obj, s)
+}
+
+func (af *aflowFunc) joinObj(obj types.Object, s aflowState) bool {
+	if obj == nil || s == 0 {
+		return false
+	}
+	if af.vars[obj]&s == s {
+		return false
+	}
+	af.vars[obj] |= s
+	return true
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (af *aflowFunc) objOf(id *ast.Ident) types.Object {
+	if obj := af.p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return af.p.Info.Uses[id]
+}
+
+// rootObj walks an assignable expression to its base identifier's object.
+func (af *aflowFunc) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return af.objOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// state computes the taint state of one expression from the environment.
+func (af *aflowFunc) state(e ast.Expr) aflowState {
+	e = unparen(e)
+	var s aflowState
+	switch x := e.(type) {
+	case *ast.BasicLit, *ast.FuncLit:
+		return 0
+	case *ast.Ident:
+		if obj := af.objOf(x); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				s |= af.vars[obj]
+			}
+		}
+	case *ast.SelectorExpr:
+		// x.f: the field inherits the container's accumulated state; the
+		// type-based source below adds taint for Addr-typed fields.
+		if obj := af.rootObj(x); obj != nil {
+			s |= af.vars[obj]
+		}
+	case *ast.IndexExpr:
+		s |= af.state(x.X)
+	case *ast.SliceExpr:
+		s |= af.state(x.X)
+	case *ast.StarExpr:
+		s |= af.state(x.X)
+	case *ast.UnaryExpr:
+		if x.Op != token.ARROW { // channel receives are boundaries
+			s |= af.state(x.X)
+		}
+	case *ast.BinaryExpr:
+		if binaryYieldsOperandValue(x.Op) {
+			s |= af.state(x.X) | af.state(x.Y)
+		}
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			s |= af.state(el)
+		}
+	case *ast.TypeAssertExpr:
+		s |= af.state(x.X)
+	case *ast.CallExpr:
+		s |= af.callState(x)
+	}
+	// Type-based source: any expression already typed phys.Addr is an
+	// address by construction.
+	if tv, ok := af.p.Info.Types[e]; ok && tv.Type != nil && isPhysAddr(tv.Type) {
+		s |= afTaint
+	}
+	return s
+}
+
+// binaryYieldsOperandValue reports whether the operator's result is in the
+// operands' value domain (arithmetic, bit ops, shifts) rather than a
+// boolean comparison.
+func binaryYieldsOperandValue(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.AND_NOT, token.SHL, token.SHR:
+		return true
+	}
+	return false
+}
+
+// callState handles the three call shapes: conversions (the laundering
+// edge), known provenance-stripping helpers, and ordinary calls (trust
+// boundaries).
+func (af *aflowFunc) callState(call *ast.CallExpr) aflowState {
+	if tv, ok := af.p.Info.Types[unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		inner := af.state(call.Args[0])
+		if inner&afTaint == 0 {
+			return 0
+		}
+		if isBareInt(tv.Type) {
+			if af.addrDifference(call.Args[0]) {
+				// The difference of two addresses is an offset, not an
+				// address: converting it to an integer extracts a size the
+				// span tracker never needs to see (ptr - ptr carries no
+				// provenance). Re-basing the offset onto a typed address is
+				// the supported idiom and stays clean.
+				return 0
+			}
+			return inner | afLaund // provenance stripped here
+		}
+		// phys.Addr(x) and other conversions keep the accumulated state:
+		// casting a laundered integer back to Addr is the round trip.
+		return inner
+	}
+	if fn := calleeOf(af.p, call); isLaunderHelper(fn) && len(call.Args) == 1 {
+		if af.state(call.Args[0])&afTaint != 0 {
+			return afTaint | afLaund
+		}
+	}
+	return 0
+}
+
+// addrDifference reports whether e is a subtraction whose operands are both
+// address-derived: end - start, cur - base. The result is in the offset
+// domain — no single address's provenance survives the subtraction.
+func (af *aflowFunc) addrDifference(e ast.Expr) bool {
+	bin, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.SUB {
+		return false
+	}
+	return af.state(bin.X)&afTaint != 0 && af.state(bin.Y)&afTaint != 0
+}
+
+// report walks the body once more with the converged environment and emits
+// the sink and escape diagnostics.
+func (af *aflowFunc) report(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			af.checkCall(x)
+		case *ast.CompositeLit:
+			af.checkCompositeLit(x)
+		case *ast.AssignStmt:
+			af.checkAssign(x)
+		case *ast.SendStmt:
+			if af.state(x.Value).laundered() {
+				af.escape(x.Value.Pos(), x.Value, "a channel send")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall reports laundered arguments in address-consuming positions and
+// escapes through calls the pass cannot follow.
+func (af *aflowFunc) checkCall(call *ast.CallExpr) {
+	fun := unparen(call.Fun)
+	if tv, ok := af.p.Info.Types[fun]; ok && tv.IsType() {
+		return // conversions are handled in callState
+	}
+	sig := af.callSignature(call)
+	indirect := af.isIndirectCall(call)
+	for i, arg := range call.Args {
+		s := af.state(arg)
+		if !s.laundered() {
+			continue
+		}
+		var pt types.Type
+		if sig != nil {
+			pt = paramTypeAt(sig, i)
+		}
+		switch {
+		case pt != nil && isPhysAddr(pt):
+			af.sink(arg.Pos(), arg, fmt.Sprintf("the %s argument of %s", ordinal(i), callName(fun)))
+		case indirect:
+			af.escape(arg.Pos(), arg, fmt.Sprintf("an indirect call to %s", callName(fun)))
+		default:
+			// Concrete call with a bare integer or interface parameter: a
+			// trust boundary — the callee's own body is analyzed on its own
+			// terms, and display-only consumers (fmt.Sprintf and friends)
+			// never re-enter the address space.
+		}
+	}
+}
+
+// checkCompositeLit reports laundered values initializing phys.Addr-typed
+// struct fields (span and descriptor-argument constructors).
+func (af *aflowFunc) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := af.p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	typeName := tv.Type.String()
+	for i, el := range lit.Elts {
+		var val ast.Expr
+		var ft types.Type
+		var fname string
+		if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+			key, isIdent := kv.Key.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			val = kv.Value
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					ft = st.Field(j).Type()
+					fname = key.Name
+					break
+				}
+			}
+		} else if i < st.NumFields() {
+			val = el
+			ft = st.Field(i).Type()
+			fname = st.Field(i).Name()
+		}
+		if ft == nil || !isPhysAddr(ft) {
+			continue
+		}
+		if af.state(val).laundered() {
+			af.sink(val.Pos(), val, fmt.Sprintf("field %s of %s", fname, typeName))
+		}
+	}
+}
+
+// checkAssign reports laundered values entering phys.Addr-typed fields,
+// package-level variables and interface-typed locations.
+func (af *aflowFunc) checkAssign(st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		s := af.state(st.Rhs[i])
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			s |= af.state(lhs)
+		}
+		if !s.laundered() {
+			continue
+		}
+		lhs = unparen(lhs)
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			if tv, ok2 := af.p.Info.Types[sel]; ok2 && tv.Type != nil && isPhysAddr(tv.Type) {
+				af.sink(st.Rhs[i].Pos(), st.Rhs[i], fmt.Sprintf("field %s", types.ExprString(sel)))
+				continue
+			}
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			obj := af.objOf(id)
+			if v, isVar := obj.(*types.Var); isVar {
+				if obj.Parent() == af.p.Types.Scope() {
+					af.escape(st.Rhs[i].Pos(), st.Rhs[i], fmt.Sprintf("package-level variable %s", id.Name))
+					continue
+				}
+				if types.IsInterface(v.Type().Underlying()) {
+					af.escape(st.Rhs[i].Pos(), st.Rhs[i], fmt.Sprintf("interface-typed variable %s", id.Name))
+					continue
+				}
+			}
+			// A plain local: the counterfeit Addr is reported where it is
+			// consumed, not where it is parked.
+			continue
+		}
+		if tv, ok := af.p.Info.Types[lhs]; ok && tv.Type != nil && isPhysAddr(tv.Type) {
+			af.sink(st.Rhs[i].Pos(), st.Rhs[i], types.ExprString(lhs))
+		}
+	}
+}
+
+// callSignature resolves the signature of a call's callee, for both
+// concrete functions and function-typed values.
+func (af *aflowFunc) callSignature(call *ast.CallExpr) *types.Signature {
+	if tv, ok := af.p.Info.Types[unparen(call.Fun)]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// isIndirectCall reports whether the callee is a function value or an
+// interface method — targets whose bodies the pass cannot name.
+func (af *aflowFunc) isIndirectCall(call *ast.CallExpr) bool {
+	fun := unparen(call.Fun)
+	if _, ok := fun.(*ast.FuncLit); ok {
+		return false // immediately-invoked literal: body analyzed in place
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok2 := af.p.Info.Selections[sel]; ok2 {
+			_, ifaceRecv := s.Recv().Underlying().(*types.Interface)
+			return ifaceRecv
+		}
+	}
+	if fn := calleeOf(af.p, call); fn != nil {
+		return false
+	}
+	// Not a *types.Func and not a conversion/builtin: a function value.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := af.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return false
+		}
+	}
+	return true
+}
+
+// paramTypeAt returns the declared type of argument position i, expanding
+// the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+func (af *aflowFunc) sink(pos token.Pos, e ast.Expr, where string) {
+	*af.out = append(*af.out, Diagnostic{
+		Pos:      af.p.Position(pos),
+		Analyzer: "addrflow",
+		Message: fmt.Sprintf("%s reaches %s with its phys.Addr provenance laundered through bare integer arithmetic; the initialized-span tracker cannot see this address — keep the value typed phys.Addr end to end",
+			types.ExprString(e), where),
+	})
+}
+
+func (af *aflowFunc) escape(pos token.Pos, e ast.Expr, where string) {
+	*af.out = append(*af.out, Diagnostic{
+		Pos:      af.p.Position(pos),
+		Analyzer: "addrflow",
+		Message: fmt.Sprintf("laundered physical address %s escapes into %s; the address flow cannot be followed past this point — pass it as phys.Addr or derive the address at the use site",
+			types.ExprString(e), where),
+	})
+}
+
+// ordinal renders a zero-based argument index for diagnostics.
+func ordinal(i int) string {
+	switch i {
+	case 0:
+		return "first"
+	case 1:
+		return "second"
+	case 2:
+		return "third"
+	default:
+		return fmt.Sprintf("%dth", i+1)
+	}
+}
+
+// callName renders the callee expression for diagnostics.
+func callName(fun ast.Expr) string { return types.ExprString(fun) }

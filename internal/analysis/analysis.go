@@ -18,7 +18,10 @@
 //   - wgadd: sync.WaitGroup.Add inside the goroutine it accounts for (the
 //     schedulers rely on the Add-before-go protocol);
 //   - detrand: wall-clock time and unseeded randomness inside the
-//     deterministic simulator packages.
+//     deterministic simulator packages;
+//   - addrflow: physical addresses laundered through bare integer
+//     arithmetic re-entering an address sink (the initialized-span
+//     tracker only sees values typed phys.Addr).
 //
 // The sibling package tdlcheck verifies TDL programs and accelerator
 // descriptors rather than Go source.
@@ -77,6 +80,7 @@ func Analyzers() []Analyzer {
 		locksafe{},
 		wgadd{},
 		detrand{},
+		addrflow{},
 	}
 }
 

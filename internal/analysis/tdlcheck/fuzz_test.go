@@ -1,0 +1,63 @@
+package tdlcheck
+
+import (
+	"math"
+	"testing"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+)
+
+// FuzzVerifyDescriptor drives the lowered-descriptor verifier with arbitrary
+// AXPY-in-LOOP parameters, the shape every interval-analysis corner case
+// fits: vector length and increment, wrap-adjacent base addresses, signed
+// per-trip strides and maximal trip counts. Two properties must hold for
+// every input: verification never panics, and when it accepts, every span it
+// hands the runtime (Writes/Reads) is exactly representable — non-negative
+// size and an end that does not wrap the 64-bit address space — because the
+// initialized-span tracker does machine arithmetic on them unchecked.
+func FuzzVerifyDescriptor(f *testing.F) {
+	// A well-formed strided loop, then the interval corner cases: a stride
+	// whose product with the trip count overflows int64, a max-trip loop, a
+	// negative stride walking under address zero, a size-domain overflow,
+	// and a span flush against the top of the space.
+	f.Add(int64(256), int64(1), uint64(0x1000), uint64(0x11000), int64(4096), uint32(4))
+	f.Add(int64(256), int64(1), uint64(0x1000), uint64(0xffff_ffff_ffff_f000), int64(1)<<62, uint32(4))
+	f.Add(int64(1), int64(1), uint64(0x1000), uint64(1)<<63, int64(1)<<33, uint32(math.MaxUint32))
+	f.Add(int64(4), int64(1), uint64(0x1000), uint64(0x2000), int64(-0x1000), uint32(4))
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64), uint64(0x1000), uint64(0x11000), int64(0), uint32(1))
+	f.Add(int64(256), int64(1), uint64(0x1000), uint64(0xffff_ffff_ffff_fc00), int64(0), uint32(1))
+	f.Fuzz(func(t *testing.T, n, inc int64, x, y uint64, strideY int64, trips uint32) {
+		d := &descriptor.Descriptor{}
+		if err := d.AddLoop(trips); err != nil {
+			t.Skip()
+		}
+		args := accel.AxpyArgs{N: n, Alpha: 1, X: phys.Addr(x), Y: phys.Addr(y),
+			IncX: inc, IncY: 1, LoopStrideY: accel.Lin(strideY)}
+		if err := d.AddComp(descriptor.OpAXPY, args.Params()); err != nil {
+			t.Skip()
+		}
+		d.AddEndPass()
+		d.AddEndLoop()
+		if err := VerifyDescriptor(d); err != nil {
+			return // rejected: the verifier did its job
+		}
+		for name, spansOf := range map[string]func(*descriptor.Descriptor) ([]Span, error){
+			"Writes": Writes, "Reads": Reads,
+		} {
+			spans, err := spansOf(d)
+			if err != nil {
+				t.Fatalf("%s on a verified descriptor: %v", name, err)
+			}
+			for _, s := range spans {
+				if s.Bytes < 0 {
+					t.Errorf("verified descriptor yields %s span %v with negative size", name, s)
+				}
+				if uint64(s.Addr)+uint64(s.Bytes) < uint64(s.Addr) {
+					t.Errorf("verified descriptor yields %s span %v whose end wraps the address space", name, s)
+				}
+			}
+		}
+	})
+}

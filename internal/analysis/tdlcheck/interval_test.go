@@ -1,0 +1,110 @@
+package tdlcheck
+
+import (
+	"strings"
+	"testing"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/phys"
+	"mealib/internal/tdl"
+)
+
+// stridedAxpy is an AXPY whose y operand advances by strideY bytes per trip
+// of the innermost hardware loop.
+func stridedAxpy(x, y phys.Addr, n, strideY int64) descriptor.Params {
+	return accel.AxpyArgs{N: n, Alpha: 1, X: x, Y: y, IncX: 1, IncY: 1,
+		LoopStrideY: accel.Lin(strideY)}.Params()
+}
+
+func TestRejectWrappingLoopStride(t *testing.T) {
+	// At iteration 3 the y span sits past 2^64: base is near the top of the
+	// address space and each trip advances it by 2^62 bytes. The machine
+	// arithmetic in extend wraps (3 * 2^62 overflows int64), so without the
+	// exact interval check the verifier would be reasoning about a garbage
+	// span instead of rejecting the loop.
+	prog := mustParse(t, `LOOP 4 { PASS { COMP AXPY PARAMS "a" } }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"a": stridedAxpy(bufA, phys.Addr(0xffff_ffff_ffff_f000), 256, 1<<62),
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "wraps the 64-bit physical address space", "operand y", "line 1")
+	if !strings.Contains(err.Error(), "(0,0,0,3)") {
+		t.Errorf("error %q does not carry the witness iteration", err)
+	}
+}
+
+func TestRejectUnderflowingLoopStride(t *testing.T) {
+	// A negative stride walks y below address zero on the final trip.
+	prog := mustParse(t, "# header\nLOOP 4 { PASS { COMP AXPY PARAMS \"a\" } }")
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"a": stridedAxpy(bufB, phys.Addr(0x1000), 256, -0x1000),
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "underflows the physical address space", "operand y", "line 2", "(0,0,0,3)")
+}
+
+func TestRejectOperandSizeOverflow(t *testing.T) {
+	// 8 * 2^40 * 2^22 = 2^65 bytes: the element-count product overflows the
+	// 63-bit size domain, so the machine-width span the verifier would build
+	// from it misrepresents what the FFT touches.
+	prog := mustParse(t, `PASS { COMP FFT PARAMS "f" }`)
+	resolve := tdl.MapResolver(map[string]descriptor.Params{
+		"f": accel.FFTArgs{N: 1 << 40, HowMany: 1 << 22, Src: bufA, Dst: bufB}.Params(),
+	})
+	err := Verify(prog, resolve)
+	wantReject(t, err, "63-bit size domain", "FFT", "line 1")
+}
+
+func TestRejectWrappingDescriptorLevel(t *testing.T) {
+	// The same wrap caught on the lowered-descriptor path the runtime uses:
+	// the error is positioned by invocation index.
+	d := &descriptor.Descriptor{}
+	if err := d.AddLoop(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddComp(descriptor.OpAXPY, stridedAxpy(bufA, phys.Addr(0xffff_ffff_ffff_f000), 256, 1<<62)); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	d.AddEndLoop()
+	err := VerifyDescriptor(d)
+	wantReject(t, err, "wraps the 64-bit physical address space", "comp 0")
+}
+
+func TestAcceptMaxTripLoopWithinBounds(t *testing.T) {
+	// A maximal 32-bit trip count with a modest stride stays far inside the
+	// address space; exactness must not over-reject it.
+	d := &descriptor.Descriptor{}
+	if err := d.AddLoop(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddComp(descriptor.OpAXPY, stridedAxpy(bufA, bufB, 256, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	d.AddEndLoop()
+	if err := VerifyDescriptor(d); err != nil {
+		t.Fatalf("in-bounds strided loop rejected: %v", err)
+	}
+}
+
+func TestRejectWholeLoopExtentOverflow(t *testing.T) {
+	// Start and end each stay inside [0, 2^64), but opposite-signed strides
+	// on two levels stretch the whole-loop extent past the 63-bit size
+	// domain, so ext.Bytes cannot represent it.
+	args := accel.AxpyArgs{N: 256, Alpha: 1, X: bufA, Y: phys.Addr(1 << 63), IncX: 1, IncY: 1}
+	args.LoopStrideY[descriptor.MaxLoopLevels-1] = 1 << 60
+	args.LoopStrideY[descriptor.MaxLoopLevels-2] = -(1 << 60)
+	d := &descriptor.Descriptor{}
+	if err := d.AddLoop(8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddComp(descriptor.OpAXPY, args.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	d.AddEndLoop()
+	err := VerifyDescriptor(d)
+	wantReject(t, err, "whole-loop extent", "63-bit size domain")
+}

@@ -27,6 +27,7 @@ package tdlcheck
 import (
 	"fmt"
 	"math"
+	"math/big"
 	"strings"
 
 	"mealib/internal/accel"
@@ -126,6 +127,11 @@ type operand struct {
 	base, ext Span
 	align     int64 // required address alignment (element size)
 	acc       access
+	// strides is the per-level byte advance the hardware applies to the
+	// operand's base address each loop trip (zero outside a LOOP). Kept on
+	// the operand so the interval analysis can re-derive the extension in
+	// exact arithmetic rather than trusting ext's machine-width math.
+	strides accel.Strides
 }
 
 // comp is one accelerator invocation in verification form.
@@ -134,18 +140,9 @@ type comp struct {
 	idx  int // invocation index in program order
 	pass int // pass ordinal
 	op   descriptor.OpCode
-	ops  []operand
-}
-
-// span64 returns the element extent of a strided BLAS vector.
-func span64(n, inc int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	if inc < 0 {
-		inc = -inc
-	}
-	return (n-1)*inc + 1
+	// counts is the enclosing hardware loop nest (all-ones outside a LOOP).
+	counts descriptor.LoopCounts
+	ops    []operand
 }
 
 // extend widens base over the loop nest: each level contributes
@@ -178,7 +175,7 @@ var noStrides accel.Strides
 func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.LoopCounts, fail func(format string, args ...interface{})) []operand {
 	mk := func(name string, addr phys.Addr, n units.Bytes, align int64, acc access, st accel.Strides) operand {
 		base := Span{Addr: addr, Bytes: n}
-		return operand{name: name, base: base, ext: extend(base, st, counts), align: align, acc: acc}
+		return operand{name: name, base: base, ext: extend(base, st, counts), align: align, acc: acc, strides: st}
 	}
 	switch op {
 	case descriptor.OpAXPY:
@@ -195,9 +192,14 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 			fail("AXPY: zero vector increment (incX=%d incY=%d)", a.IncX, a.IncY)
 			return nil
 		}
+		xb, okx := fitBytes(vecBytes(4, a.N, a.IncX), "AXPY: operand x", fail)
+		yb, oky := fitBytes(vecBytes(4, a.N, a.IncY), "AXPY: operand y", fail)
+		if !okx || !oky {
+			return nil
+		}
 		return []operand{
-			mk("x", a.X, units.Bytes(4*span64(a.N, a.IncX)), 4, accRead, a.LoopStrideX),
-			mk("y", a.Y, units.Bytes(4*span64(a.N, a.IncY)), 4, accRead|accWrite, a.LoopStrideY),
+			mk("x", a.X, xb, 4, accRead, a.LoopStrideX),
+			mk("y", a.Y, yb, 4, accRead|accWrite, a.LoopStrideY),
 		}
 	case descriptor.OpDOT:
 		a, err := accel.DecodeDotArgs(p)
@@ -217,9 +219,14 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 		if a.Complex {
 			elem = 8
 		}
+		xb, okx := fitBytes(vecBytes(elem, a.N, a.IncX), "DOT: operand x", fail)
+		yb, oky := fitBytes(vecBytes(elem, a.N, a.IncY), "DOT: operand y", fail)
+		if !okx || !oky {
+			return nil
+		}
 		return []operand{
-			mk("x", a.X, units.Bytes(elem*span64(a.N, a.IncX)), elem, accRead, a.LoopStrideX),
-			mk("y", a.Y, units.Bytes(elem*span64(a.N, a.IncY)), elem, accRead, a.LoopStrideY),
+			mk("x", a.X, xb, elem, accRead, a.LoopStrideX),
+			mk("y", a.Y, yb, elem, accRead, a.LoopStrideY),
 			mk("out", a.Out, units.Bytes(elem), elem, accWrite, a.LoopStrideOut),
 		}
 	case descriptor.OpGEMV:
@@ -240,10 +247,19 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 		if a.Beta != 0 {
 			yAcc |= accRead // y is accumulated into only when beta != 0
 		}
+		arow := new(big.Int).Mul(big.NewInt(a.M-1), big.NewInt(a.Lda))
+		arow.Add(arow, big.NewInt(a.N))
+		arow.Mul(arow, big.NewInt(4))
+		ab, oka := fitBytes(arow, "GEMV: operand A", fail)
+		xb, okx := fitBytes(prodBytes(4, a.N), "GEMV: operand x", fail)
+		yb, oky := fitBytes(prodBytes(4, a.M), "GEMV: operand y", fail)
+		if !oka || !okx || !oky {
+			return nil
+		}
 		return []operand{
-			mk("A", a.A, units.Bytes(4*((a.M-1)*a.Lda+a.N)), 4, accRead, a.LoopStrideA),
-			mk("x", a.X, units.Bytes(4*a.N), 4, accRead, a.LoopStrideX),
-			mk("y", a.Y, units.Bytes(4*a.M), 4, yAcc, a.LoopStrideY),
+			mk("A", a.A, ab, 4, accRead, a.LoopStrideA),
+			mk("x", a.X, xb, 4, accRead, a.LoopStrideX),
+			mk("y", a.Y, yb, 4, yAcc, a.LoopStrideY),
 		}
 	case descriptor.OpSPMV:
 		a, err := accel.DecodeSpmvArgs(p)
@@ -259,12 +275,21 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 			fail("SPMV: negative non-zero count %d", a.NNZ)
 			return nil
 		}
+		rp := new(big.Int).Add(big.NewInt(a.M), big.NewInt(1))
+		rp.Mul(rp, big.NewInt(4))
+		rpb, okr := fitBytes(rp, "SPMV: operand rowPtr", fail)
+		cib, okc := fitBytes(prodBytes(4, a.NNZ), "SPMV: operand colIdx", fail)
+		xb, okx := fitBytes(prodBytes(4, a.Cols), "SPMV: operand x", fail)
+		yb, oky := fitBytes(prodBytes(4, a.M), "SPMV: operand y", fail)
+		if !okr || !okc || !okx || !oky {
+			return nil
+		}
 		return []operand{
-			mk("rowPtr", a.RowPtr, units.Bytes(4*(a.M+1)), 4, accRead, noStrides),
-			mk("colIdx", a.ColIdx, units.Bytes(4*a.NNZ), 4, accRead, noStrides),
-			mk("values", a.Values, units.Bytes(4*a.NNZ), 4, accRead, noStrides),
-			mk("x", a.X, units.Bytes(4*a.Cols), 4, accRead, noStrides),
-			mk("y", a.Y, units.Bytes(4*a.M), 4, accWrite, noStrides),
+			mk("rowPtr", a.RowPtr, rpb, 4, accRead, noStrides),
+			mk("colIdx", a.ColIdx, cib, 4, accRead, noStrides),
+			mk("values", a.Values, cib, 4, accRead, noStrides),
+			mk("x", a.X, xb, 4, accRead, noStrides),
+			mk("y", a.Y, yb, 4, accWrite, noStrides),
 		}
 	case descriptor.OpRESMP:
 		a, err := accel.DecodeResmpArgs(p)
@@ -288,9 +313,14 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 		if a.Kind >= accel.ResmpComplex {
 			elem = 8
 		}
+		sb, oks := fitBytes(prodBytes(elem, a.NIn), "RESMP: operand src", fail)
+		db, okd := fitBytes(prodBytes(elem, a.NOut), "RESMP: operand dst", fail)
+		if !oks || !okd {
+			return nil
+		}
 		return []operand{
-			mk("src", a.Src, units.Bytes(elem*a.NIn), elem, accRead, a.LoopStrideSrc),
-			mk("dst", a.Dst, units.Bytes(elem*a.NOut), elem, accWrite, a.LoopStrideDst),
+			mk("src", a.Src, sb, elem, accRead, a.LoopStrideSrc),
+			mk("dst", a.Dst, db, elem, accWrite, a.LoopStrideDst),
 		}
 	case descriptor.OpFFT:
 		a, err := accel.DecodeFFTArgs(p)
@@ -306,7 +336,10 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 			fail("FFT: non-positive batch count %d", a.HowMany)
 			return nil
 		}
-		total := units.Bytes(8 * a.N * a.HowMany)
+		total, okt := fitBytes(prodBytes(8, a.N, a.HowMany), "FFT: operand data", fail)
+		if !okt {
+			return nil
+		}
 		if a.Src == a.Dst {
 			return []operand{mk("data", a.Src, total, 8, accRead|accWrite, a.LoopStrideSrc)}
 		}
@@ -332,7 +365,10 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 		if a.Elem == accel.ElemC64 {
 			elem = 8
 		}
-		n := units.Bytes(elem * a.Rows * a.Cols)
+		n, okn := fitBytes(prodBytes(elem, a.Rows, a.Cols), "RESHP: operand data", fail)
+		if !okn {
+			return nil
+		}
 		if a.Src == a.Dst {
 			if a.Rows != a.Cols {
 				fail("RESHP: in-place transpose requires a square matrix, got %dx%d", a.Rows, a.Cols)
@@ -351,8 +387,10 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 }
 
 // checkComp runs the per-invocation checks common to every kernel:
-// alignment and intra-invocation operand overlap.
+// symbolic loop-interval bounds, alignment and intra-invocation operand
+// overlap.
 func checkComp(c *comp, e *errs) {
+	checkIntervals(c, e)
 	for _, o := range c.ops {
 		if o.align > 1 && int64(o.base.Addr)%o.align != 0 {
 			e.addf(c.line, c.idx, "%v: operand %s at %v is not %d-byte aligned", c.op, o.name, o.base.Addr, o.align)
@@ -495,7 +533,7 @@ func Verify(prog *tdl.Program, resolve tdl.ParamResolver, opts ...Option) error 
 	idx, passNo := 0, 0
 	addPass := func(p tdl.Pass, counts descriptor.LoopCounts) {
 		for _, c := range p.Comps {
-			cm := &comp{line: c.Line, idx: idx, pass: passNo, op: c.Op}
+			cm := &comp{line: c.Line, idx: idx, pass: passNo, op: c.Op, counts: counts}
 			params, err := resolve(c.ParamRef)
 			if err != nil {
 				e.addf(c.Line, idx, "dangling parameter reference %q: %v", c.ParamRef, err)
@@ -557,34 +595,21 @@ func VerifyDescriptor(d *descriptor.Descriptor, opts ...Option) error {
 			e.addf(0, c.idx, format, args...)
 		})
 	}
-	plain := make([]*comp, len(comps))
-	for i, c := range comps {
-		plain[i] = &c.comp
-	}
-	checkComps(plain, &o, &e)
+	checkComps(comps, &o, &e)
 	return e.err()
-}
-
-// descComp pairs a comp with its enclosing loop counts.
-type descComp struct {
-	comp
-	counts descriptor.LoopCounts
 }
 
 // descriptorComps reconstructs the pass/loop structure of a validated
 // descriptor's instruction stream.
-func descriptorComps(d *descriptor.Descriptor) ([]*descComp, error) {
-	var comps []*descComp
+func descriptorComps(d *descriptor.Descriptor) ([]*comp, error) {
+	var comps []*comp
 	ones := loopCountsOf(nil)
 	counts := ones
 	passNo, idx := 0, 0
 	for _, in := range d.Instrs {
 		switch in.Kind {
 		case descriptor.KindComp:
-			comps = append(comps, &descComp{
-				comp:   comp{idx: idx, pass: passNo, op: in.Op},
-				counts: counts,
-			})
+			comps = append(comps, &comp{idx: idx, pass: passNo, op: in.Op, counts: counts})
 			idx++
 		case descriptor.KindEndPass:
 			passNo++

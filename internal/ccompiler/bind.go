@@ -2,6 +2,7 @@ package ccompiler
 
 import (
 	"fmt"
+	"math/big"
 	"strings"
 
 	"mealib/internal/accel"
@@ -93,7 +94,10 @@ type callBinder struct {
 }
 
 // bufAddr resolves a buffer field to a physical address including its
-// constant index offset.
+// constant index offset. The offset terms are evaluated in exact arithmetic:
+// tdlcheck proves the descriptor's loop arithmetic stays inside the address
+// space, and that proof is worthless if the compiler hands it a base address
+// that already wrapped during binding.
 func (pcb *callBinder) bufAddr(fi int) (phys.Addr, error) {
 	ref := pcb.pc.Sym.Fields[fi].Buf
 	name := ref.Name
@@ -101,15 +105,18 @@ func (pcb *callBinder) bufAddr(fi int) (phys.Addr, error) {
 	if !ok {
 		return 0, fmt.Errorf("unbound buffer %q", name)
 	}
-	addr := buf.PA
+	addr := new(big.Int).SetUint64(uint64(buf.PA))
 	for _, term := range pcb.pc.Offsets[fi] {
 		v, err := EvalInt(term.Expr, pcb.ints)
 		if err != nil {
 			return 0, fmt.Errorf("offset of %q: %w", ref, err)
 		}
-		addr += phys.Addr(v * term.Mult)
+		addr.Add(addr, new(big.Int).Mul(big.NewInt(v), big.NewInt(term.Mult)))
 	}
-	return addr, nil
+	if addr.Sign() < 0 || !addr.IsUint64() {
+		return 0, fmt.Errorf("offset of %q: bound address %v is outside the 64-bit physical space (offset arithmetic overflows)", ref, addr)
+	}
+	return phys.Addr(addr.Uint64()), nil
 }
 
 // intOf resolves an integer field by position.

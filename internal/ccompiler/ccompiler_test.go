@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"mealib/internal/accel"
 	"mealib/internal/descriptor"
+	"mealib/internal/phys"
 )
 
 // stapSymbols are the -D constants for testdata/stap.c (small sizes so the
@@ -656,5 +658,52 @@ func TestPaperScaleCompaction(t *testing.T) {
 	}
 	if res.Stats.CoveredCalls < 16_000_000 {
 		t.Errorf("must cover >16M calls, got %d", res.Stats.CoveredCalls)
+	}
+}
+
+// Binding must evaluate constant index offsets exactly: a wrapped base
+// address handed to the verifier defeats its interval proofs.
+func TestBindRejectsOverflowingOffset(t *testing.T) {
+	pc := &PlannedCall{
+		Sym: &SymCall{
+			Op:   descriptor.OpAXPY,
+			Name: "cblas_saxpy",
+			Fields: []SymField{
+				intField("n"), f32Field("1.0"),
+				bufField(BufRef{Name: "x"}), bufField(BufRef{Name: "y"}),
+				intField("1"), intField("1"),
+			},
+		},
+		ParamRef: "p0",
+		Offsets: map[int][]offsetTerm{
+			// 2^61 elements of 4 bytes on top of a base near the top of the
+			// space: the machine product alone overflows int64.
+			3: {{Expr: "k", Mult: 4}},
+		},
+	}
+	plan := &Plan{Name: "p", TDL: `PASS { COMP AXPY PARAMS "p0" }`, Calls: []*PlannedCall{pc}}
+	b := &Binding{
+		Buffers: map[string]BoundBuffer{
+			"x": {PA: 0x1000, Elems: 256},
+			"y": {PA: 0xffff_ffff_ffff_0000, Elems: 256},
+		},
+		Ints: map[string]int64{"n": 256, "k": 1 << 61},
+	}
+	if _, _, err := Bind(plan, b); err == nil || !strings.Contains(err.Error(), "outside the 64-bit physical space") {
+		t.Fatalf("overflowing offset bound without error (err=%v)", err)
+	}
+	// The same call with a sane offset binds, and the offset lands in the
+	// address.
+	b.Ints["k"] = 16
+	_, params, err := Bind(plan, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, aerr := accel.DecodeAxpyArgs(params["p0"])
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if want := phys.Addr(0xffff_ffff_ffff_0000 + 64); a.Y != want {
+		t.Errorf("bound y = %v, want %v", a.Y, want)
 	}
 }

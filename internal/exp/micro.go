@@ -340,6 +340,56 @@ func microCases() []microCase {
 			}
 			return d, host, nil
 		}},
+		{op: "CHAIN", size: 1024, iters: 32, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
+			// RESMP chained into FFT inside one pass, looped over disjoint
+			// rows — the SAR image-formation shape from Figure 12a. The
+			// intermediate stays on the accelerator; the host baseline pays
+			// one resample call plus one FFT call per iteration.
+			const nin, n, iters = 768, 1024, 32
+			ra := m.alloc(8 * nin * iters)
+			ia := m.alloc(8 * n * iters)
+			if err := m.fillC64(ra, nin*iters, 12); err != nil {
+				return nil, nil, err
+			}
+			d := &descriptor.Descriptor{}
+			if err := d.AddLoop(iters); err != nil {
+				return nil, nil, err
+			}
+			if err := d.AddComp(descriptor.OpRESMP, accel.ResmpArgs{
+				NIn: nin, NOut: n, Kind: accel.ResmpComplex + int64(kernels.InterpLinear),
+				Src: ra, Dst: ia,
+				LoopStrideSrc: accel.Lin(8 * nin), LoopStrideDst: accel.Lin(8 * n),
+			}.Params()); err != nil {
+				return nil, nil, err
+			}
+			if err := d.AddComp(descriptor.OpFFT, accel.FFTArgs{
+				N: n, HowMany: 1, Src: ia, Dst: ia,
+				LoopStrideSrc: accel.Lin(8 * n), LoopStrideDst: accel.Lin(8 * n),
+			}.Params()); err != nil {
+				return nil, nil, err
+			}
+			d.AddEndPass()
+			d.AddEndLoop()
+			hr := randC64(nin*iters, 12)
+			hi := make([]complex64, n*iters)
+			plan, err := kernels.NewFFTPlan(n, kernels.Forward)
+			if err != nil {
+				return nil, nil, err
+			}
+			host := func() error {
+				for i := 0; i < iters; i++ {
+					row := hi[i*n : (i+1)*n]
+					if err := kernels.ResampleC64(hr[i*nin:(i+1)*nin], row, kernels.InterpLinear); err != nil {
+						return err
+					}
+					if err := kernels.FFTBatch(plan, row, 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return d, host, nil
+		}},
 		{op: "RESHP", size: 256 * 256, iters: 4, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
 			const edge, iters = 256, 4
 			sa := m.alloc(4 * edge * edge)

@@ -87,6 +87,99 @@ func TestExecuteRejectsUninitializedRead(t *testing.T) {
 	}
 }
 
+func TestAccPlanRejectsWrappingLoopStride(t *testing.T) {
+	r := newRuntime(t)
+	buf, err := r.MemAlloc(4 * 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The y operand starts near the top of the physical space and advances
+	// by 2^62 bytes per loop trip: at the final iteration its span wraps
+	// past 2^64. The machine arithmetic the extended-span computation uses
+	// overflows here, so only the exact interval analysis can reject it.
+	args := accel.AxpyArgs{N: 256, Alpha: 1, X: buf.PA(), Y: 0xffff_ffff_ffff_f000,
+		IncX: 1, IncY: 1, LoopStrideY: accel.Lin(1 << 62)}
+	_, err = r.AccPlan(`LOOP 4 { PASS { COMP AXPY PARAMS "axpy.para" } }`, map[string]descriptor.Params{
+		"axpy.para": args.Params(),
+	})
+	wantErr(t, err, "rejected by the static verifier", "wraps the 64-bit physical address space", "iteration (0,0,0,3)")
+}
+
+// TestNoVerifyBothDirections pins down the escape hatch's contract from both
+// sides: a plan the verifier rejects (AXPY reading an x buffer no write ever
+// reached) is refused at launch with verification on, and with NoVerify the
+// same descriptor executes — reading zeroes, so y is left exactly as the
+// host wrote it. The corruption is silent but predictable; that
+// predictability is what the test asserts.
+func TestNoVerifyBothDirections(t *testing.T) {
+	const n = 64
+	setup := func(t *testing.T, cfg *Config) (*Runtime, *Buffer, *Buffer) {
+		t.Helper()
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := r.MemAlloc(4 * n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := r.MemAlloc(4 * n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, x, y
+	}
+	yInit := make([]float32, n)
+	for i := range yInit {
+		yInit[i] = float32(i) + 1
+	}
+	plan := func(r *Runtime, x, y *Buffer) (*Plan, error) {
+		return r.AccPlan(`PASS { COMP AXPY PARAMS "axpy.para" }`, map[string]descriptor.Params{
+			"axpy.para": accel.AxpyArgs{N: n, Alpha: 3, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1}.Params(),
+		})
+	}
+
+	// Verification on: the launch is rejected — x was never initialized.
+	r, x, y := setup(t, DefaultConfig())
+	if err := y.StoreFloat32s(0, yInit); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan(r, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Execute()
+	wantErr(t, err, "launch rejected by the static verifier", "uninitialized")
+
+	// Verification off: the same descriptor executes. The accelerator reads
+	// the zeroes backing the unwritten x, so y += 3*x leaves y bit-identical
+	// to what the host stored — the check it bypassed is exactly the one
+	// that would have flagged the read.
+	cfg := DefaultConfig()
+	cfg.NoVerify = true
+	r2, x2, y2 := setup(t, cfg)
+	if err := y2.StoreFloat32s(0, yInit); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := plan(r2, x2, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Execute(); err != nil {
+		t.Fatalf("NoVerify execute: %v", err)
+	}
+	got, err := y2.LoadFloat32s(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != yInit[i] {
+			t.Fatalf("y[%d] = %v after NoVerify AXPY over uninitialized x, want untouched %v", i, got[i], yInit[i])
+		}
+	}
+	_ = x2
+}
+
 func TestNoVerifyEscapeHatch(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NoVerify = true
