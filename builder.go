@@ -1,10 +1,13 @@
 package mealib
 
 import (
+	"fmt"
+
 	"mealib/internal/accel"
 	"mealib/internal/descriptor"
 	"mealib/internal/kernels"
 	"mealib/internal/mealibrt"
+	"mealib/internal/units"
 )
 
 // Comp is one accelerator invocation inside a plan.
@@ -122,6 +125,64 @@ func (b *PlanBuilder) Pass(comps ...Comp) *PlanBuilder {
 	}
 	b.desc.AddEndPass()
 	return b
+}
+
+// Chain appends one fused pass after statically verifying the
+// producer→consumer handoffs: each comp's output span must be consumed
+// whole by the next (same address, size and loop strides), no later stage
+// may write memory an earlier stage reads, and the summed per-iteration
+// intermediates must fit the aggregate tile-local memory. Unlike Pass —
+// which trusts the caller to chain compatible comps — Chain rejects an
+// unfusible pipeline at build time with a stage-level error.
+func (b *PlanBuilder) Chain(comps ...Comp) *PlanBuilder {
+	if b.err != nil {
+		return b
+	}
+	if err := b.verifyChain(descriptor.LoopCounts{}, comps); err != nil {
+		b.err = err
+		return b
+	}
+	return b.Pass(comps...)
+}
+
+// ChainLoop is Chain under a hardware loop nest (counts outermost first):
+// the handoff verification must hold at every iteration of the nest, so
+// per-level stride mismatches between producer and consumer are rejected
+// even when the base addresses line up.
+func (b *PlanBuilder) ChainLoop(counts []int, comps ...Comp) *PlanBuilder {
+	if b.err != nil {
+		return b
+	}
+	var lc descriptor.LoopCounts
+	for i := range lc {
+		lc[i] = 1
+	}
+	if len(counts) == 0 || len(counts) > len(lc) {
+		b.err = fmt.Errorf("mealib: chain loop needs 1..%d levels, got %d", len(lc), len(counts))
+		return b
+	}
+	off := len(lc) - len(counts)
+	for i, c := range counts {
+		lc[off+i] = uint32(c)
+	}
+	if err := b.verifyChain(lc, comps); err != nil {
+		b.err = err
+		return b
+	}
+	return b.Loop(counts, comps...)
+}
+
+func (b *PlanBuilder) verifyChain(counts descriptor.LoopCounts, comps []Comp) error {
+	cc := make([]accel.ChainComp, len(comps))
+	for i, c := range comps {
+		if c.err != nil {
+			return c.err
+		}
+		cc[i] = accel.ChainComp{Op: c.op, Params: c.params}
+	}
+	cfg := b.sys.rt.Layer().Config()
+	_, err := accel.VerifyChain(cc, counts, cfg.LMBytes*units.Bytes(cfg.Tiles))
+	return err
 }
 
 // Loop appends a hardware loop nest (counts outermost first) over one pass

@@ -41,6 +41,16 @@ go run ./cmd/mealib-bench -micro "$microdir" -ops AXPY >/dev/null
 test -s "$microdir/BENCH_AXPY.json"
 grep -q speedup_vs_serial "$microdir/BENCH_AXPY.json"
 
+echo "==> descriptor fusion gate (CHAIN micro, bytes moved must drop)"
+go test -race -run 'TestFusionGate' -count=1 ./internal/exp
+
+echo "==> mealib-bench fused columns smoke (CHAIN, fusion on/off)"
+chaindir=$(mktemp -d)
+tmpdirs="$tmpdirs $chaindir"
+go run ./cmd/mealib-bench -micro "$chaindir" -ops CHAIN >/dev/null
+grep -q fused_ns_per_op "$chaindir/BENCH_CHAIN.json"
+grep -q dram_bytes_per_op "$chaindir/BENCH_CHAIN.json"
+
 echo "==> mealib-trace e2e smoke (traced micro AXPY, validated export)"
 tracedir=$(mktemp -d)
 tmpdirs="$tmpdirs $tracedir"

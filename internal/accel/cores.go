@@ -383,7 +383,10 @@ func fftCore(s *phys.Space, a FFTArgs) (Work, error) {
 	if a.Inverse {
 		dir = kernels.Inverse
 	}
-	plan, err := kernels.NewFFTPlan(int(a.N), dir)
+	// Hardwired FFT engines keep their twiddle ROMs across launches; the
+	// shared plan cache models that — a LOOP of same-length transforms pays
+	// for the table once, not per iteration.
+	plan, err := kernels.SharedFFTPlan(int(a.N), dir)
 	if err != nil {
 		return Work{}, err
 	}

@@ -1,0 +1,491 @@
+package accel
+
+import (
+	"fmt"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/units"
+)
+
+// Descriptor fusion: a compile pass over the plan IR that merges adjacent
+// producer→consumer passes into single chained passes, so the intermediate
+// buffer lives in tile-local scratch (charged to the NoC by runPass) instead
+// of round-tripping through DRAM between launches of the two datapaths.
+//
+// A pair of adjacent passes in the same scope (both top-level, or both in
+// the same LOOP body) fuses when:
+//
+//  1. Handoff: the producer pass's last comp writes exactly the span the
+//     consumer pass's first comp reads — same base address, same byte
+//     count, and the same per-level loop strides, so the equality holds at
+//     every iteration of the surrounding nest ("consumed whole").
+//  2. No WAR hazard: no comp of the consumer pass writes memory any comp of
+//     the producer pass reads (the chained datapath streams concurrently;
+//     this mirrors the in-pass rule the tdlcheck verifier enforces).
+//  3. Single consumer: no other comp anywhere in the descriptor touches the
+//     intermediate's whole-loop extent — a second reader needs the DRAM
+//     copy, so multi-consumer intermediates are never fused.
+//  4. Capacity: the per-iteration handoff bytes of the merged pass fit the
+//     aggregate tile-local memory. A chain that exceeds it falls back to
+//     DRAM (the pair stays unfused) and is counted as a fusion spill.
+//
+// All span arithmetic is affine in the iteration vector, so every "for all
+// iterations" property is decided exactly by evaluating the spans at the
+// corners of the loop-count box. Fusion never changes functional execution:
+// the comps still run in program order against the space and the
+// intermediate is still materialised, so fused and unfused runs are
+// bit-identical; only the model (time, energy, DRAM traffic) and the plan
+// shape (fewer, wider nodes) change.
+
+// FusedGroup describes one applied fusion: a run of adjacent passes merged
+// into a single chained pass.
+type FusedGroup struct {
+	// FirstPass is the program-order index (counting every pass, top-level
+	// and loop-body alike) of the group's first original pass.
+	FirstPass int
+	// Passes is how many original passes the group merged.
+	Passes int
+	// Ops are the accelerator mnemonics of the fused chain, in order.
+	Ops []string
+	// HandoffBytes is the per-iteration intermediate traffic the group keeps
+	// in tile-local scratch (the sum over the group's producer→consumer
+	// links).
+	HandoffBytes units.Bytes
+	// Iters is the surrounding loop trip count (1 for top-level groups):
+	// the group elides 2*HandoffBytes*Iters bytes of DRAM traffic per
+	// launch (the producer's store plus the consumer's load).
+	Iters int64
+}
+
+// planSegment is one scope of a descriptor: either a run of consecutive
+// top-level passes or one LOOP nest with its body passes.
+type planSegment struct {
+	loop   bool
+	counts descriptor.LoopCounts
+	passes [][]passInstr
+	// comps holds the global comp index of every comp, parallel to passes.
+	comps [][]int
+	// firstPass is the program-order index of passes[0].
+	firstPass int
+}
+
+// segmentsOf decodes the descriptor into scope segments with resolved
+// parameter blocks.
+func segmentsOf(d *descriptor.Descriptor) ([]planSegment, error) {
+	var segs []planSegment
+	var pass []passInstr
+	var ids []int
+	comp := 0
+	npass := 0
+	inLoop := false
+	topSeg := -1 // index of the open run of top-level passes
+	for _, in := range d.Instrs {
+		switch in.Kind {
+		case descriptor.KindComp:
+			params, err := d.ParamsOf(comp)
+			if err != nil {
+				return nil, err
+			}
+			pass = append(pass, passInstr{op: in.Op, params: params})
+			ids = append(ids, comp)
+			comp++
+		case descriptor.KindEndPass:
+			if inLoop {
+				seg := &segs[len(segs)-1]
+				seg.passes = append(seg.passes, pass)
+				seg.comps = append(seg.comps, ids)
+			} else {
+				if topSeg < 0 {
+					topSeg = len(segs)
+					segs = append(segs, planSegment{firstPass: npass})
+				}
+				segs[topSeg].passes = append(segs[topSeg].passes, pass)
+				segs[topSeg].comps = append(segs[topSeg].comps, ids)
+			}
+			pass, ids = nil, nil
+			npass++
+		case descriptor.KindLoop:
+			inLoop = true
+			topSeg = -1
+			segs = append(segs, planSegment{loop: true, counts: in.Counts, firstPass: npass})
+		case descriptor.KindEndLoop:
+			inLoop = false
+		}
+	}
+	return segs, nil
+}
+
+// extSpan is one byte range a comp touches anywhere in its loop-count box.
+type extSpan struct {
+	lo, hi uint64 // [lo, hi)
+	write  bool
+}
+
+func (e extSpan) overlaps(lo, hi uint64) bool { return e.lo < hi && lo < e.hi }
+
+// cornersOf enumerates the corner iteration vectors of a loop-count box.
+// Affine span addresses attain their extremes at corners, and two affine
+// spans equal on every corner are equal at every iteration.
+func cornersOf(counts descriptor.LoopCounts) []IterVec {
+	levels := make([]int64, descriptor.MaxLoopLevels)
+	vary := 0
+	for l, c := range counts {
+		if int64(c) > 1 {
+			levels[l] = int64(c) - 1
+			vary++
+		}
+	}
+	out := make([]IterVec, 0, 1<<vary)
+	for mask := 0; mask < 1<<descriptor.MaxLoopLevels; mask++ {
+		var it IterVec
+		skip := false
+		for l := 0; l < descriptor.MaxLoopLevels; l++ {
+			if mask&(1<<l) != 0 {
+				if levels[l] == 0 {
+					skip = true // degenerate level: corner already covered
+					break
+				}
+				it[l] = levels[l]
+			}
+		}
+		if !skip {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// compExtents resolves one comp's spans over the whole box into extents.
+// ok is false when the spans cannot be resolved (unknown op, wrap).
+func compExtents(op descriptor.OpCode, params descriptor.Params, corners []IterVec) ([]extSpan, bool) {
+	var out []extSpan
+	for ci, it := range corners {
+		spans, err := ioSpansOf(op, params, it)
+		if err != nil || spans == nil {
+			return nil, false
+		}
+		if ci == 0 {
+			out = make([]extSpan, len(spans))
+			for i, sp := range spans {
+				out[i] = extSpan{lo: uint64(sp.addr), hi: uint64(sp.addr) + uint64(sp.bytes), write: sp.write}
+			}
+			continue
+		}
+		if len(spans) != len(out) {
+			return nil, false
+		}
+		for i, sp := range spans {
+			lo := uint64(sp.addr)
+			hi := lo + uint64(sp.bytes)
+			if lo < out[i].lo {
+				out[i].lo = lo
+			}
+			if hi > out[i].hi {
+				out[i].hi = hi
+			}
+		}
+	}
+	for _, e := range out {
+		if e.hi < e.lo { // address wrap
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// cornerSpans evaluates a comp's directional spans at every corner,
+// corner-major. nil when unresolvable.
+func cornerSpans(op descriptor.OpCode, params descriptor.Params, corners []IterVec) [][]ioSpan {
+	out := make([][]ioSpan, len(corners))
+	for i, it := range corners {
+		spans, err := ioSpansOf(op, params, it)
+		if err != nil || spans == nil {
+			return nil
+		}
+		out[i] = spans
+	}
+	return out
+}
+
+// handoffOf finds the producer→consumer handoff between the last comp of
+// pass a and the first comp of pass b: a read operand of the consumer that
+// equals the producer's written span at every corner. Returns the
+// per-iteration handoff size, or an error describing why none exists.
+func handoffOf(a, b []passInstr, corners []IterVec) (units.Bytes, error) {
+	prod := a[len(a)-1]
+	cons := b[0]
+	ps := cornerSpans(prod.op, prod.params, corners)
+	cs := cornerSpans(cons.op, cons.params, corners)
+	if ps == nil || cs == nil {
+		return 0, fmt.Errorf("accel: fuse: unresolvable operand spans")
+	}
+	// The producer's output is its written span (every accelerator writes
+	// exactly one operand).
+	wi := -1
+	for i, sp := range ps[0] {
+		if sp.write {
+			if wi >= 0 {
+				return 0, fmt.Errorf("accel: fuse: %v writes more than one operand", prod.op)
+			}
+			wi = i
+		}
+	}
+	if wi < 0 || ps[0][wi].bytes <= 0 {
+		return 0, fmt.Errorf("accel: fuse: %v produces no output span", prod.op)
+	}
+	for ri, sp := range cs[0] {
+		if sp.write {
+			continue
+		}
+		match := true
+		for c := range corners {
+			w, r := ps[c][wi], cs[c][ri]
+			if r.addr != w.addr || r.bytes != w.bytes {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ps[0][wi].bytes, nil
+		}
+	}
+	return 0, fmt.Errorf("accel: fuse: %v output is not consumed whole by %v", prod.op, cons.op)
+}
+
+// warHazard reports whether any comp of pass b writes memory any comp of
+// pass a reads, judged on whole-box extents (conservative): the fused
+// datapath streams the stages concurrently, so a consumer-side write over a
+// producer-side read would race in hardware. exts maps global comp index to
+// extents; ids give the comps' global indices.
+func warHazard(aIDs, bIDs []int, exts [][]extSpan) bool {
+	for _, bi := range bIDs {
+		for _, w := range exts[bi] {
+			if !w.write {
+				continue
+			}
+			for _, ai := range aIDs {
+				for _, r := range exts[ai] {
+					if !r.write && r.overlaps(w.lo, w.hi) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// singleConsumer reports whether the handoff extent [lo, hi) is untouched by
+// every comp other than the producer and consumer. A second toucher means
+// the intermediate must exist in DRAM after all.
+func singleConsumer(lo, hi uint64, producer, consumer int, exts [][]extSpan) bool {
+	for id, spans := range exts {
+		if id == producer || id == consumer {
+			continue
+		}
+		for _, e := range spans {
+			if e.overlaps(lo, hi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fuseResult is the outcome of the fusion pass over one descriptor.
+type fuseResult struct {
+	groups []FusedGroup
+	// spills counts adjacent producer→consumer pairs left unfused because
+	// the handoff would overflow the tile-local memories.
+	spills int
+	// scratch is the peak per-iteration scratch any fused pass occupies.
+	scratch units.Bytes
+}
+
+// fuseSegments merges adjacent fusible passes within each segment, in
+// place. lmCap is the aggregate tile-local capacity the chained
+// intermediates of one pass may occupy.
+func fuseSegments(segs []planSegment, lmCap units.Bytes) fuseResult {
+	var res fuseResult
+	// Liveness needs every comp's whole-box extents, across all segments.
+	total := 0
+	for _, seg := range segs {
+		for _, ids := range seg.comps {
+			total += len(ids)
+		}
+	}
+	exts := make([][]extSpan, total)
+	for _, seg := range segs {
+		corners := cornersOf(seg.counts)
+		for pi, pass := range seg.passes {
+			for ci, in := range pass {
+				e, ok := compExtents(in.op, in.params, corners)
+				if !ok {
+					// One unresolvable comp blinds the liveness scan for the
+					// whole descriptor: fuse nothing.
+					return fuseResult{}
+				}
+				exts[seg.comps[pi][ci]] = e
+			}
+		}
+	}
+	for si := range segs {
+		seg := &segs[si]
+		if len(seg.passes) < 2 {
+			continue
+		}
+		corners := cornersOf(seg.counts)
+		iters := int64(1)
+		if seg.loop {
+			iters = seg.counts.Total()
+		}
+		var passes [][]passInstr
+		var comps [][]int
+		var origin []int // original program-order pass index of each output pass
+		var group *FusedGroup
+		var groupScratch units.Bytes
+		flush := func() {
+			if group != nil && group.Passes > 1 {
+				res.groups = append(res.groups, *group)
+				if groupScratch > res.scratch {
+					res.scratch = groupScratch
+				}
+			}
+			group = nil
+			groupScratch = 0
+		}
+		for pi, pass := range seg.passes {
+			ids := seg.comps[pi]
+			if len(passes) > 0 {
+				prev := passes[len(passes)-1]
+				prevIDs := comps[len(comps)-1]
+				hb, err := handoffOf(prev, pass, corners)
+				switch {
+				case err != nil:
+					// No producer→consumer relationship: fall through.
+				case groupScratch+hb > lmCap:
+					res.spills++
+				case warHazard(prevIDs, ids, exts):
+					// Unsafe to stream concurrently: keep the DRAM boundary.
+				default:
+					producer := prevIDs[len(prevIDs)-1]
+					consumer := ids[0]
+					// The handoff's whole-box extent is the producer's write
+					// extent (the consumer's matched read equals it at every
+					// corner by construction).
+					var wlo, whi uint64
+					for _, e := range exts[producer] {
+						if e.write {
+							wlo, whi = e.lo, e.hi
+						}
+					}
+					if !singleConsumer(wlo, whi, producer, consumer, exts) {
+						break
+					}
+					merged := append(append([]passInstr(nil), prev...), pass...)
+					passes[len(passes)-1] = merged
+					comps[len(comps)-1] = append(append([]int(nil), prevIDs...), ids...)
+					if group == nil {
+						group = &FusedGroup{
+							FirstPass: origin[len(origin)-1],
+							Passes:    1,
+							Iters:     iters,
+							Ops:       opsOf(prev),
+						}
+					}
+					group.Passes++
+					group.Ops = append(group.Ops, opsOf(pass)...)
+					group.HandoffBytes += hb
+					groupScratch += hb
+					continue
+				}
+			}
+			flush()
+			passes = append(passes, pass)
+			comps = append(comps, ids)
+			origin = append(origin, seg.firstPass+pi)
+		}
+		flush()
+		seg.passes = passes
+		seg.comps = comps
+	}
+	return res
+}
+
+// opsOf lists the mnemonics of a pass.
+func opsOf(pass []passInstr) []string {
+	out := make([]string, len(pass))
+	for i, in := range pass {
+		out[i] = in.op.String()
+	}
+	return out
+}
+
+// FusionGroups runs the fusion analysis over a descriptor and reports the
+// pass groups that would merge under cfg (capacity from LMBytes*Tiles),
+// without building or executing a plan. The TDL compiler path uses this to
+// apply the identical merges to the source program, so descriptor-level and
+// plan-level fusion can never disagree.
+func FusionGroups(d *descriptor.Descriptor, cfg *Config) ([]FusedGroup, error) {
+	segs, err := segmentsOf(d)
+	if err != nil {
+		return nil, err
+	}
+	res := fuseSegments(segs, cfg.LMBytes*units.Bytes(cfg.Tiles))
+	return res.groups, nil
+}
+
+// ChainComp is one stage of a candidate fused chain (builder API surface).
+type ChainComp struct {
+	Op     descriptor.OpCode
+	Params descriptor.Params
+}
+
+// VerifyChain checks that comps form a legal fused chain over the loop
+// counts: every adjacent pair must have an exact producer→consumer handoff,
+// no later stage may write memory an earlier stage reads, and the summed
+// per-iteration handoffs must fit the aggregate tile-local capacity lmCap.
+// It returns the total per-iteration handoff bytes on success.
+func VerifyChain(comps []ChainComp, counts descriptor.LoopCounts, lmCap units.Bytes) (units.Bytes, error) {
+	if len(comps) < 2 {
+		return 0, fmt.Errorf("accel: chain needs at least two comps, got %d", len(comps))
+	}
+	corners := cornersOf(counts)
+	pass := make([]passInstr, len(comps))
+	exts := make([][]extSpan, len(comps))
+	for i, c := range comps {
+		pass[i] = passInstr{op: c.Op, params: c.Params}
+		e, ok := compExtents(c.Op, c.Params, corners)
+		if !ok {
+			return 0, fmt.Errorf("accel: chain stage %d (%v): unresolvable operand spans", i, c.Op)
+		}
+		exts[i] = e
+	}
+	var total units.Bytes
+	for i := 0; i+1 < len(pass); i++ {
+		hb, err := handoffOf(pass[i:i+1], pass[i+1:i+2], corners)
+		if err != nil {
+			return 0, fmt.Errorf("accel: chain stages %d→%d: %w", i, i+1, err)
+		}
+		total += hb
+	}
+	if total > lmCap {
+		return 0, fmt.Errorf("accel: chain handoff %v exceeds tile-local capacity %v", total, lmCap)
+	}
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			for _, w := range exts[j] {
+				if !w.write {
+					continue
+				}
+				for _, r := range exts[i] {
+					if !r.write && r.overlaps(w.lo, w.hi) {
+						return 0, fmt.Errorf("accel: chain stage %d (%v) writes memory stage %d (%v) reads",
+							j, comps[j].Op, i, comps[i].Op)
+					}
+				}
+			}
+		}
+	}
+	return total, nil
+}

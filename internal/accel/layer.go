@@ -33,6 +33,9 @@ type layerMetrics struct {
 	streamFallbacks *telemetry.Counter
 	comps           *telemetry.Counter
 	bytesMoved      *telemetry.Counter
+	bytesElided     *telemetry.Counter
+	fusedGroups     *telemetry.Counter
+	fusionSpills    *telemetry.Counter
 	wavesPerLaunch  *telemetry.Histogram
 	waveWidth       *telemetry.Histogram
 	// Per-opcode activity, indexed by descriptor.OpCode.
@@ -50,6 +53,9 @@ func (m *layerMetrics) init(reg *telemetry.Metrics) {
 	m.streamFallbacks = reg.Counter("accel.stream_fallbacks")
 	m.comps = reg.Counter("accel.comps")
 	m.bytesMoved = reg.Counter("accel.bytes_moved")
+	m.bytesElided = reg.Counter("accel.bytes_elided")
+	m.fusedGroups = reg.Counter("accel.fused_groups")
+	m.fusionSpills = reg.Counter("accel.fusion_spills")
 	m.wavesPerLaunch = reg.Histogram("accel.waves_per_launch")
 	m.waveWidth = reg.Histogram("accel.wave_width")
 	for op := descriptor.OpAXPY; op <= descriptor.OpRESHP; op++ {
@@ -70,12 +76,17 @@ func NewLayer(cfg *Config) (*Layer, error) {
 }
 
 // noteLaunch feeds the per-launch metrics from the final report.
+// accel.bytes_moved is the DRAM traffic that actually happened — per-op
+// bytes minus what chaining kept in tile-local memory — while
+// accel.bytes_elided counts the avoided traffic, so moved+elided is the
+// unfused baseline.
 func (l *Layer) noteLaunch(rep *Report) {
 	if l.tr == nil {
 		return
 	}
 	l.met.launches.Add(1)
 	l.met.comps.Add(rep.Comps)
+	var total int64
 	for op, st := range rep.PerOp {
 		if int(op) >= len(l.met.opInv) || int(op) < 0 {
 			continue
@@ -83,8 +94,14 @@ func (l *Layer) noteLaunch(rep *Report) {
 		l.met.opInv[op].Add(st.Invocations)
 		l.met.opNS[op].Add(int64(float64(st.Time) * 1e9))
 		l.met.opPJ[op].Add(int64(float64(st.Energy) * 1e12))
-		l.met.bytesMoved.Add(int64(st.Bytes))
+		total += int64(st.Bytes)
 	}
+	moved := total - int64(rep.ElidedBytes)
+	if moved < 0 {
+		moved = 0
+	}
+	l.met.bytesMoved.Add(moved)
+	l.met.bytesElided.Add(int64(rep.ElidedBytes))
 }
 
 // Config returns the layer configuration.
@@ -117,6 +134,12 @@ type Report struct {
 	// RemoteBytes is traffic to buffers living on remote memory stacks,
 	// which crossed the inter-stack links (paper §3.3).
 	RemoteBytes units.Bytes
+	// ElidedBytes is DRAM traffic chaining kept in tile-local memory: the
+	// producer's store and the consumer's load of every chained
+	// intermediate (2x the handoff size per link). Per-op byte counts in
+	// PerOp stay unadjusted, so total DRAM traffic is ΣPerOp.Bytes minus
+	// ElidedBytes.
+	ElidedBytes units.Bytes
 }
 
 func newReport() *Report {
@@ -354,6 +377,7 @@ func (r *Report) merge(sub *Report) {
 	r.NoCBytes += sub.NoCBytes
 	r.LMSpillBytes += sub.LMSpillBytes
 	r.RemoteBytes += sub.RemoteBytes
+	r.ElidedBytes += sub.ElidedBytes
 	ops := make([]descriptor.OpCode, 0, len(sub.PerOp))
 	for op := range sub.PerOp {
 		ops = append(ops, op)
@@ -522,6 +546,9 @@ func (l *Layer) runPass(exec execFunc, pass []passInstr, it IterVec, rep *Report
 		nocTime += t
 		nocEnergy += e * units.Joules(l.cfg.Tiles) / 2 // ~half stays tile-local
 		rep.NoCBytes += chained
+		// The DRAM store of the producer and load of the consumer both
+		// disappear.
+		rep.ElidedBytes += 2 * chained
 	}
 	for i, pi := range pass {
 		c, err := l.cfg.OpCost(pi.op, adjusted[i])

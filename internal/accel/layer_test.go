@@ -332,14 +332,27 @@ func TestChainingReducesTimeAndDRAMTraffic(t *testing.T) {
 	chained.AddEndPass()
 	repHW := r.run(t, chained)
 
-	// Software chaining: two separate passes.
-	sa2, ta2 := mkBuffers()
+	// Software chaining: two separate passes, with the fusion pass off so
+	// the intermediate really round-trips through DRAM.
+	nofuse := newRig(t)
+	nofuse.layer.cfg.NoFusion = true
+	sa2, ta2 := mkBuffers2(nofuse, src)
 	separate := &descriptor.Descriptor{}
 	_ = separate.AddComp(descriptor.OpRESHP, reshp(sa2, ta2))
 	separate.AddEndPass()
 	_ = separate.AddComp(descriptor.OpFFT, fft(ta2))
 	separate.AddEndPass()
-	repSW := r.run(t, separate)
+	repSW := nofuse.run(t, separate)
+
+	// With fusion on (the default), the same two-pass descriptor merges
+	// back into a chained pass.
+	sa3, ta3 := mkBuffers()
+	fused := &descriptor.Descriptor{}
+	_ = fused.AddComp(descriptor.OpRESHP, reshp(sa3, ta3))
+	fused.AddEndPass()
+	_ = fused.AddComp(descriptor.OpFFT, fft(ta3))
+	fused.AddEndPass()
+	repFused := r.run(t, fused)
 
 	if repHW.Time >= repSW.Time {
 		t.Errorf("chained time %v not below separate %v", repHW.Time, repSW.Time)
@@ -350,14 +363,31 @@ func TestChainingReducesTimeAndDRAMTraffic(t *testing.T) {
 	if repSW.NoCBytes != 0 {
 		t.Error("separate passes must not use the NoC")
 	}
-	// Both paths must compute identical results.
+	if repSW.ElidedBytes != 0 {
+		t.Error("unfused passes must not report elided DRAM traffic")
+	}
+	if repFused.NoCBytes != repHW.NoCBytes {
+		t.Errorf("fused NoC bytes %v != hand-chained %v", repFused.NoCBytes, repHW.NoCBytes)
+	}
+	if repFused.ElidedBytes == 0 {
+		t.Error("fused pass must report elided DRAM traffic")
+	}
+	// All paths must compute identical results.
 	a, _ := r.space.LoadComplex64s(ta1, elems)
-	b, _ := r.space.LoadComplex64s(ta2, elems)
+	b, _ := nofuse.space.LoadComplex64s(ta2, elems)
+	c, _ := r.space.LoadComplex64s(ta3, elems)
 	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("chained and separate results differ at %d", i)
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("chained, separate and fused results differ at %d", i)
 		}
 	}
+}
+
+// mkBuffers2 allocates the source/target pair in an independent rig.
+func mkBuffers2(r *testRig, src []complex64) (phys.Addr, phys.Addr) {
+	sa, ta := r.alloc(8*len(src)), r.alloc(8*len(src))
+	_ = r.space.StoreComplex64s(sa, src)
+	return sa, ta
 }
 
 func TestModelProperties(t *testing.T) {

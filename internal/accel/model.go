@@ -54,6 +54,14 @@ type Config struct {
 	// ELinkBit is the energy to move one bit across a link.
 	ELinkBit units.Joules
 
+	// NoFusion disables the descriptor fusion pass: adjacent
+	// producer→consumer passes are lowered as separate plan nodes with the
+	// intermediate round-tripping through DRAM, exactly as the paper's
+	// one-descriptor-per-call model behaves. Fusion never changes results —
+	// this switch exists for differential testing and for measuring the
+	// DRAM traffic fusion elides.
+	NoFusion bool
+
 	// Workers bounds the goroutines the functional interpreter fans
 	// independent LOOP iterations across. 0 selects the automatic size
 	// min(GOMAXPROCS, Tiles); 1 restores fully serial execution. Values

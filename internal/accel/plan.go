@@ -64,6 +64,15 @@ type plan struct {
 	// chained reports that the edge builder gave up (span blow-up) and the
 	// plan degraded to a serial chain.
 	chained bool
+	// fused records the fusion groups applied while lowering (nil when
+	// fusion is off or nothing fused).
+	fused []FusedGroup
+	// fusionSpills counts fusible pairs left unfused because the handoff
+	// would overflow the tile-local memories (spill-to-DRAM fallback).
+	fusionSpills int
+	// scratchBytes is the peak per-iteration tile-local scratch any fused
+	// pass holds its intermediates in.
+	scratchBytes units.Bytes
 }
 
 // planMode selects how LOOP nests lower.
@@ -110,58 +119,53 @@ func planNodeCount(d *descriptor.Descriptor, mode planMode) int64 {
 
 // buildPlan lowers the descriptor. It returns nil (no error) when the
 // expansion would exceed planMaxNodes and the caller should stream instead.
+//
+// Lowering first decodes the descriptor into scope segments, runs the
+// fusion pass over them (unless Config.NoFusion), then emits nodes from the
+// possibly-merged pass lists. A fused pass is one node — its comps chain
+// through tile-local memory inside runPass — so the interleaving DRAM
+// write/read passes between producer and consumer disappear from the
+// schedule itself, not just the cost model.
 func (l *Layer) buildPlan(d *descriptor.Descriptor, mode planMode) (*plan, error) {
 	if planNodeCount(d, mode) > planMaxNodes {
 		return nil, nil
 	}
+	segs, err := segmentsOf(d)
+	if err != nil {
+		return nil, err
+	}
 	p := &plan{}
-	var pass []passInstr
-	var loopPasses [][]passInstr
-	inLoop := false
-	var loopCounts descriptor.LoopCounts
-	comp := 0
-	for _, in := range d.Instrs {
-		switch in.Kind {
-		case descriptor.KindComp:
-			params, err := d.ParamsOf(comp)
-			comp++
-			if err != nil {
-				return nil, err
-			}
-			pass = append(pass, passInstr{op: in.Op, params: params})
-		case descriptor.KindEndPass:
-			if inLoop {
-				loopPasses = append(loopPasses, pass)
-			} else {
+	if !l.cfg.NoFusion {
+		res := fuseSegments(segs, l.cfg.LMBytes*units.Bytes(l.cfg.Tiles))
+		p.fused = res.groups
+		p.fusionSpills = res.spills
+		p.scratchBytes = res.scratch
+	}
+	for _, seg := range segs {
+		if !seg.loop {
+			for _, pass := range seg.passes {
 				p.fixed += l.cfg.PassConfigLatency
 				p.addNode(pass, IterVec{}, 1, false)
 			}
-			pass = nil
-		case descriptor.KindLoop:
-			inLoop = true
-			loopCounts = in.Counts
-			loopPasses = nil
-		case descriptor.KindEndLoop:
-			iters := loopCounts.Total()
-			p.fixed += l.cfg.PassConfigLatency * units.Seconds(len(loopPasses))
-			switch {
-			case len(loopPasses) == 0:
-				// An empty loop body still pays the per-iteration dispatch.
-				p.fixed += l.iterDispatch() * units.Seconds(iters)
-			case mode == planCollapse:
-				for pi, body := range loopPasses {
-					p.addNode(body, IterVec{}, iters, pi == len(loopPasses)-1)
-				}
-			default:
-				for idx := int64(0); idx < iters; idx++ {
-					it := iterVecAt(loopCounts, idx)
-					for pi, body := range loopPasses {
-						p.addNode(body, it, 1, pi == len(loopPasses)-1)
-					}
+			continue
+		}
+		iters := seg.counts.Total()
+		p.fixed += l.cfg.PassConfigLatency * units.Seconds(len(seg.passes))
+		switch {
+		case len(seg.passes) == 0:
+			// An empty loop body still pays the per-iteration dispatch.
+			p.fixed += l.iterDispatch() * units.Seconds(iters)
+		case mode == planCollapse:
+			for pi, body := range seg.passes {
+				p.addNode(body, IterVec{}, iters, pi == len(seg.passes)-1)
+			}
+		default:
+			for idx := int64(0); idx < iters; idx++ {
+				it := iterVecAt(seg.counts, idx)
+				for pi, body := range seg.passes {
+					p.addNode(body, it, 1, pi == len(seg.passes)-1)
 				}
 			}
-			inLoop = false
-			loopPasses = nil
 		}
 	}
 	p.buildEdges()
@@ -431,6 +435,16 @@ type PlanInfo struct {
 	// SerialChain reports that dependence analysis was abandoned and the
 	// plan degraded to one-node-per-wave serial execution.
 	SerialChain bool
+	// Fused lists the fusion groups the lowering applied: runs of adjacent
+	// producer→consumer passes merged into single chained passes whose
+	// intermediates stay in tile-local scratch.
+	Fused []FusedGroup
+	// FusionSpills counts fusible pairs left unfused because their handoff
+	// would overflow tile-local capacity (spilled to DRAM instead).
+	FusionSpills int
+	// ScratchBytes is the peak per-iteration tile-local scratch residency
+	// of any fused pass.
+	ScratchBytes units.Bytes
 }
 
 // ExplainPlan lowers a descriptor through the functional expansion and
@@ -450,10 +464,13 @@ func (l *Layer) ExplainPlan(d *descriptor.Descriptor) (PlanInfo, error) {
 		return PlanInfo{Nodes: int(planNodeCount(d, planExpand)), SerialChain: true}, nil
 	}
 	return PlanInfo{
-		Nodes:       len(p.nodes),
-		Edges:       p.edges,
-		Waves:       len(p.waves),
-		MaxWidth:    p.maxWidth,
-		SerialChain: p.chained,
+		Nodes:        len(p.nodes),
+		Edges:        p.edges,
+		Waves:        len(p.waves),
+		MaxWidth:     p.maxWidth,
+		SerialChain:  p.chained,
+		Fused:        p.fused,
+		FusionSpills: p.fusionSpills,
+		ScratchBytes: p.scratchBytes,
 	}, nil
 }

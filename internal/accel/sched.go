@@ -49,8 +49,15 @@ func (l *Layer) planWorkers(p *plan) int {
 // the buffer of whichever goroutine runs it.
 func (l *Layer) runNode(exec execFunc, nd *planNode, tb *telemetry.Buf) (*Report, error) {
 	name := "node"
-	if len(nd.pass) > 0 {
+	if len(nd.pass) == 1 {
 		name = nd.pass[0].op.String()
+	} else if len(nd.pass) > 1 {
+		// A multi-comp (chained or fused) pass: name the span after the
+		// whole chain so fusion is visible in traces.
+		name = nd.pass[0].op.String()
+		for _, pi := range nd.pass[1:] {
+			name += "+" + pi.op.String()
+		}
 	}
 	tb.Begin(telemetry.SpanNode, name)
 	sub := newReport()
@@ -80,6 +87,7 @@ func (r *Report) scale(n int64) {
 	r.NoCBytes *= units.Bytes(n)
 	r.LMSpillBytes *= units.Bytes(n)
 	r.RemoteBytes *= units.Bytes(n)
+	r.ElidedBytes *= units.Bytes(n)
 	for _, st := range r.PerOp {
 		st.Invocations *= n
 		st.Time *= units.Seconds(n)
@@ -97,6 +105,8 @@ func (l *Layer) runPlan(p *plan, exec execFunc, tb *telemetry.Buf) (*Report, err
 	rep.Time += p.fixed
 	workers := l.planWorkers(p)
 	l.met.wavesPerLaunch.Observe(int64(len(p.waves)))
+	l.met.fusedGroups.Add(int64(len(p.fused)))
+	l.met.fusionSpills.Add(int64(p.fusionSpills))
 	if workers <= 1 {
 		// Serial: node order is a topological order (edges always point
 		// forward), so in-order execution respects every edge.

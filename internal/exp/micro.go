@@ -18,27 +18,38 @@ import (
 // -micro writes one BENCH_<op>.json per op so the performance trajectory of
 // the execution engine can be tracked across PRs.
 //
-// NsPerOp times one descriptor launch through the full functional simulator
-// (decode, independence check, worker pool, zero-copy cores, modelled
-// report). HostNsPerOp runs the same arithmetic as direct host library
-// calls, one call per LOOP iteration, with no simulator in the path — the
-// way original code would invoke the library. SpeedupVsHost therefore
+// FusedNsPerOp times one descriptor launch through the full functional
+// simulator with the fusion pass on — the default engine (decode, fusion,
+// independence check, worker pool, zero-copy cores, modelled report).
+// NsPerOp re-times the identical launch with fusion off (Config.NoFusion),
+// so the pair isolates what descriptor fusion is worth on each shape;
+// single-pass descriptors show the two within noise of each other.
+// HostNsPerOp runs the same arithmetic as direct host library calls, one
+// call per LOOP iteration, with no simulator in the path — the way original
+// code would invoke the library. SpeedupVsHost (host over fused) therefore
 // isolates the engine cost: 1.0 means simulating the op is as fast as
 // calling the kernel directly; below 1.0 is the overhead factor the
 // simulator adds, above 1.0 means batching plus the worker pool beat
 // one-call-at-a-time host dispatch.
 type MicroResult struct {
-	Op          string  `json:"op"`
-	Size        int64   `json:"size"`       // elements per comp invocation
-	LoopIters   int64   `json:"loop_iters"` // LOOP trip count per launch
-	Workers     int     `json:"workers"`    // resolved worker-pool size
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	HostNsPerOp float64 `json:"host_ns_per_op"`
-	Speedup     float64 `json:"speedup_vs_host"`
-	// SerialNsPerOp re-times the same launch with the wavefront scheduler
+	Op         string `json:"op"`
+	Size       int64  `json:"size"`       // elements per comp invocation
+	LoopIters  int64  `json:"loop_iters"` // LOOP trip count per launch
+	Workers    int    `json:"workers"`    // resolved worker-pool size
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NsPerOp is the fusion-off engine: every pass a separate plan node,
+	// intermediates round-tripping through DRAM.
+	NsPerOp float64 `json:"ns_per_op"`
+	// FusedNsPerOp is the fusion-on engine (the default execution path).
+	FusedNsPerOp float64 `json:"fused_ns_per_op"`
+	// DRAMBytesPerOp is the modelled DRAM traffic of one fused launch:
+	// per-op streamed bytes minus what chaining kept in tile-local memory.
+	DRAMBytesPerOp int64   `json:"dram_bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	HostNsPerOp    float64 `json:"host_ns_per_op"`
+	Speedup        float64 `json:"speedup_vs_host"`
+	// SerialNsPerOp re-times the fused launch with the wavefront scheduler
 	// off (Workers=1); SpeedupVsSerial is the scheduler's own win on this
 	// case — 1.0 for serial-chain descriptors (SPMV, RESHP), above 1.0 when
 	// waves carry more than one node.
@@ -55,13 +66,14 @@ type microRig struct {
 
 const microArenaBase phys.Addr = 0x10000
 
-func newMicroRig(workers int) (*microRig, error) {
+func newMicroRig(workers int, noFusion bool) (*microRig, error) {
 	s := phys.NewSpace(256 * units.MiB)
 	if _, err := s.Map(microArenaBase, 32*units.MiB); err != nil {
 		return nil, err
 	}
 	cfg := accel.MEALibConfig()
 	cfg.Workers = workers
+	cfg.NoFusion = noFusion
 	l, err := accel.NewLayer(cfg)
 	if err != nil {
 		return nil, err
@@ -341,10 +353,13 @@ func microCases() []microCase {
 			return d, host, nil
 		}},
 		{op: "CHAIN", size: 1024, iters: 32, setup: func(m *microRig) (*descriptor.Descriptor, func() error, error) {
-			// RESMP chained into FFT inside one pass, looped over disjoint
-			// rows — the SAR image-formation shape from Figure 12a. The
-			// intermediate stays on the accelerator; the host baseline pays
-			// one resample call plus one FFT call per iteration.
+			// RESMP feeding FFT, looped over disjoint rows — the SAR
+			// image-formation shape from Figure 12a, written as two separate
+			// passes the way one-call-per-descriptor library code would emit
+			// them. The fusion pass merges the pair into a chained pass, so
+			// the intermediate stays on the accelerator; with fusion off it
+			// round-trips through DRAM. The host baseline pays one resample
+			// call plus one FFT call per iteration.
 			const nin, n, iters = 768, 1024, 32
 			ra := m.alloc(8 * nin * iters)
 			ia := m.alloc(8 * n * iters)
@@ -362,6 +377,7 @@ func microCases() []microCase {
 			}.Params()); err != nil {
 				return nil, nil, err
 			}
+			d.AddEndPass()
 			if err := d.AddComp(descriptor.OpFFT, accel.FFTArgs{
 				N: n, HowMany: 1, Src: ia, Dst: ia,
 				LoopStrideSrc: accel.Lin(8 * n), LoopStrideDst: accel.Lin(8 * n),
@@ -420,24 +436,26 @@ func microCases() []microCase {
 }
 
 // microSetup prepares one case on a fresh rig and sanity-runs both sides
-// once so benchmark loops never hit a first-call error.
-func microSetup(c microCase, workers int) (*microRig, *descriptor.Descriptor, phys.Addr, func() error, error) {
-	rig, err := newMicroRig(workers)
+// once so benchmark loops never hit a first-call error. The warm-up
+// launch's report is returned for traffic accounting.
+func microSetup(c microCase, workers int, noFusion bool) (*microRig, *descriptor.Descriptor, phys.Addr, func() error, *accel.Report, error) {
+	rig, err := newMicroRig(workers, noFusion)
 	if err != nil {
-		return nil, nil, 0, nil, err
+		return nil, nil, 0, nil, nil, err
 	}
 	d, host, err := c.setup(rig)
 	if err != nil {
-		return nil, nil, 0, nil, fmt.Errorf("exp: micro %s setup: %w", c.op, err)
+		return nil, nil, 0, nil, nil, fmt.Errorf("exp: micro %s setup: %w", c.op, err)
 	}
 	base := rig.alloc(int(d.Size()))
-	if _, err := rig.layer.RunPlain(rig.space, d, base); err != nil {
-		return nil, nil, 0, nil, fmt.Errorf("exp: micro %s warm-up: %w", c.op, err)
+	rep, err := rig.layer.RunPlain(rig.space, d, base)
+	if err != nil {
+		return nil, nil, 0, nil, nil, fmt.Errorf("exp: micro %s warm-up: %w", c.op, err)
 	}
 	if err := host(); err != nil {
-		return nil, nil, 0, nil, fmt.Errorf("exp: micro %s host warm-up: %w", c.op, err)
+		return nil, nil, 0, nil, nil, fmt.Errorf("exp: micro %s host warm-up: %w", c.op, err)
 	}
-	return rig, d, base, host, nil
+	return rig, d, base, host, rep, nil
 }
 
 // MicroBenchmarks measures every op through the functional execution engine
@@ -463,12 +481,19 @@ func MicroBenchmarks(workers int, ops ...string) ([]MicroResult, error) {
 		if len(want) > 0 && !want[c.op] {
 			continue
 		}
-		rig, d, base, host, err := microSetup(c, workers)
+		// The fused rig is the default engine; its warm-up report carries
+		// the traffic accounting.
+		rig, d, base, host, rep, err := microSetup(c, workers, false)
 		if err != nil {
 			return nil, err
 		}
+		var dramBytes int64
+		for _, st := range rep.PerOp {
+			dramBytes += int64(st.Bytes)
+		}
+		dramBytes -= int64(rep.ElidedBytes)
 		var runErr error
-		accelRes := testing.Benchmark(func(b *testing.B) {
+		fusedRes := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := rig.layer.RunPlain(rig.space, d, base); err != nil {
@@ -479,6 +504,22 @@ func MicroBenchmarks(workers int, ops ...string) ([]MicroResult, error) {
 		})
 		if runErr != nil {
 			return nil, fmt.Errorf("exp: micro %s: %w", c.op, runErr)
+		}
+		// Fusion-off reference: the identical descriptor on a NoFusion rig.
+		nrig, nd, nbase, _, _, err := microSetup(c, workers, true)
+		if err != nil {
+			return nil, err
+		}
+		unfusedRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nrig.layer.RunPlain(nrig.space, nd, nbase); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("exp: micro %s unfused: %w", c.op, runErr)
 		}
 		hostRes := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -491,17 +532,18 @@ func MicroBenchmarks(workers int, ops ...string) ([]MicroResult, error) {
 		if runErr != nil {
 			return nil, fmt.Errorf("exp: micro %s host: %w", c.op, runErr)
 		}
-		ns := float64(accelRes.NsPerOp())
+		fusedNs := float64(fusedRes.NsPerOp())
+		ns := float64(unfusedRes.NsPerOp())
 		hostNs := float64(hostRes.NsPerOp())
 		sp := 0.0
-		if ns > 0 {
-			sp = hostNs / ns
+		if fusedNs > 0 {
+			sp = hostNs / fusedNs
 		}
-		serialNs := ns
+		serialNs := fusedNs
 		if resolved != 1 {
 			// Scheduler-off comparison: the identical descriptor on a fresh
-			// serial rig.
-			srig, sd, sbase, _, err := microSetup(c, 1)
+			// serial (fused) rig.
+			srig, sd, sbase, _, _, err := microSetup(c, 1, false)
 			if err != nil {
 				return nil, err
 			}
@@ -519,13 +561,14 @@ func MicroBenchmarks(workers int, ops ...string) ([]MicroResult, error) {
 			serialNs = float64(serialRes.NsPerOp())
 		}
 		spSerial := 0.0
-		if ns > 0 {
-			spSerial = serialNs / ns
+		if fusedNs > 0 {
+			spSerial = serialNs / fusedNs
 		}
 		out = append(out, MicroResult{
 			Op: c.op, Size: c.size, LoopIters: c.iters,
 			Workers: resolved, GoMaxProcs: runtime.GOMAXPROCS(0),
-			NsPerOp: ns, AllocsPerOp: accelRes.AllocsPerOp(), BytesPerOp: accelRes.AllocedBytesPerOp(),
+			NsPerOp: ns, FusedNsPerOp: fusedNs, DRAMBytesPerOp: dramBytes,
+			AllocsPerOp: fusedRes.AllocsPerOp(), BytesPerOp: fusedRes.AllocedBytesPerOp(),
 			HostNsPerOp: hostNs, Speedup: sp,
 			SerialNsPerOp: serialNs, SpeedupVsSerial: spSerial,
 		})
@@ -537,19 +580,21 @@ func MicroBenchmarks(workers int, ops ...string) ([]MicroResult, error) {
 func RenderMicro(rows []MicroResult) *Table {
 	t := &Table{
 		Title:   "Functional-path micro-benchmarks (one descriptor launch)",
-		Columns: []string{"Op", "Size", "Iters", "ns/op", "allocs/op", "host ns/op", "vs host", "serial ns/op", "vs serial"},
+		Columns: []string{"Op", "Size", "Iters", "ns/op", "fused ns/op", "dram B/op", "allocs/op", "host ns/op", "vs host", "serial ns/op", "vs serial"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			r.Op, fmt.Sprintf("%d", r.Size), fmt.Sprintf("%d", r.LoopIters),
-			fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%.0f", r.FusedNsPerOp),
+			fmt.Sprintf("%d", r.DRAMBytesPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
 			fmt.Sprintf("%.0f", r.HostNsPerOp), f(r.Speedup),
 			fmt.Sprintf("%.0f", r.SerialNsPerOp), f(r.SpeedupVsSerial),
 		})
 	}
 	if len(rows) > 0 {
 		t.Notes = append(t.Notes,
-			fmt.Sprintf("workers=%d gomaxprocs=%d; host = direct per-iteration kernel calls, no simulator",
+			fmt.Sprintf("workers=%d gomaxprocs=%d; host = direct per-iteration kernel calls, no simulator; "+
+				"ns/op = fusion off, fused ns/op = fusion on (default engine)",
 				rows[0].Workers, rows[0].GoMaxProcs))
 	}
 	return t

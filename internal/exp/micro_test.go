@@ -10,15 +10,17 @@ func TestMicroCasesRun(t *testing.T) {
 		c := c
 		t.Run(c.op, func(t *testing.T) {
 			for _, workers := range []int{1, 4} {
-				rig, d, base, host, err := microSetup(c, workers)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if _, err := rig.layer.RunPlain(rig.space, d, base); err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				if err := host(); err != nil {
-					t.Fatalf("workers=%d host: %v", workers, err)
+				for _, noFusion := range []bool{false, true} {
+					rig, d, base, host, _, err := microSetup(c, workers, noFusion)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := rig.layer.RunPlain(rig.space, d, base); err != nil {
+						t.Fatalf("workers=%d nofusion=%v: %v", workers, noFusion, err)
+					}
+					if err := host(); err != nil {
+						t.Fatalf("workers=%d host: %v", workers, err)
+					}
 				}
 			}
 		})
@@ -29,7 +31,8 @@ func TestMicroCasesRun(t *testing.T) {
 func TestRenderMicro(t *testing.T) {
 	rows := []MicroResult{{
 		Op: "AXPY", Size: 4096, LoopIters: 64, Workers: 4, GoMaxProcs: 4,
-		NsPerOp: 1000, AllocsPerOp: 3, BytesPerOp: 256, HostNsPerOp: 900, Speedup: 0.9,
+		NsPerOp: 1100, FusedNsPerOp: 1000, DRAMBytesPerOp: 1 << 20,
+		AllocsPerOp: 3, BytesPerOp: 256, HostNsPerOp: 900, Speedup: 0.9,
 		SerialNsPerOp: 2000, SpeedupVsSerial: 2.0,
 	}}
 	tab := RenderMicro(rows)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // Direction selects forward or inverse transform (FFTW sign convention:
@@ -71,12 +72,15 @@ func NewFFTPlan(n int, dir Direction) (*FFTPlan, error) {
 		ang := sign * math.Pi * float64(kk) / float64(n)
 		p.chirp[k] = complex64(cmplx.Exp(complex(0, ang)))
 	}
+	// The convolution sub-plans are power-of-two and immutable, so they
+	// come from the shared cache: Bluestein plans of one length then share
+	// their twiddle tables even when each caller needs private scratch.
 	var err error
-	p.sub, err = NewFFTPlan(m, Forward)
+	p.sub, err = SharedFFTPlan(m, Forward)
 	if err != nil {
 		return nil, err
 	}
-	p.subInv, err = NewFFTPlan(m, Inverse)
+	p.subInv, err = SharedFFTPlan(m, Inverse)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +171,40 @@ func (p *FFTPlan) bluestein(data []complex64) error {
 		data[k] = a[k] * inv * p.chirp[k]
 	}
 	return nil
+}
+
+// planKey identifies a cacheable plan: length and direction.
+type planKey struct {
+	n   int
+	dir Direction
+}
+
+// planCache holds shared power-of-two plans. A radix-2 plan is immutable
+// after construction (Execute reads only the twiddle table), so one plan is
+// safe to share across goroutines; Bluestein plans carry mutable scratch
+// and are never cached.
+var planCache sync.Map // planKey -> *FFTPlan
+
+// SharedFFTPlan returns a cached plan for power-of-two lengths and a fresh
+// plan otherwise. Power-of-two twiddle tables dominate small-transform
+// launch cost (the table is recomputed per call in the naive path), so
+// repeated-launch workloads — LOOP bodies, pipelined descriptors — should
+// prefer this over NewFFTPlan. The cache is bounded by construction: at
+// most one entry per (power-of-two length, direction) pair.
+func SharedFFTPlan(n int, dir Direction) (*FFTPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return NewFFTPlan(n, dir)
+	}
+	key := planKey{n: n, dir: dir}
+	if v, ok := planCache.Load(key); ok {
+		return v.(*FFTPlan), nil
+	}
+	p, err := NewFFTPlan(n, dir)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := planCache.LoadOrStore(key, p)
+	return v.(*FFTPlan), nil
 }
 
 // FFT transforms data in place without plan reuse (convenience wrapper).

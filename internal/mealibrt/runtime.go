@@ -44,6 +44,13 @@ type Config struct {
 	// otherwise rejects malformed task graphs at plan and launch time —
 	// the library-level equivalent of tdlc's -nocheck escape hatch.
 	NoVerify bool
+	// NoFusion disables descriptor fusion at both levels: AccPlan stops
+	// merging producer→consumer TDL passes, and the accelerator layer's
+	// plan lowering keeps every pass as its own node, so intermediates
+	// round-trip through DRAM exactly as the paper's one-descriptor-per-
+	// call model behaves. Results are identical either way; this switch
+	// exists for differential testing and traffic measurement.
+	NoFusion bool
 	// Workers overrides the accelerator layer's worker-pool size for
 	// independent LOOP iterations: 0 keeps the layer's own setting
 	// (min(GOMAXPROCS, Tiles) by default), 1 forces serial execution.
@@ -166,6 +173,9 @@ func New(cfg *Config) (*Runtime, error) {
 	}
 	if cfg.Workers != 0 {
 		accelCfg.Workers = cfg.Workers
+	}
+	if cfg.NoFusion {
+		accelCfg.NoFusion = true
 	}
 	if accelCfg.Tracer == nil {
 		accelCfg.Tracer = cfg.Tracer
@@ -383,6 +393,21 @@ func (r *Runtime) AccPlan(tdlSrc string, params map[string]descriptor.Params) (*
 	if !r.cfg.NoVerify {
 		if err := tdlcheck.Verify(prog, resolve); err != nil {
 			return nil, fmt.Errorf("mealibrt: program rejected by the static verifier: %w", err)
+		}
+	}
+	if !r.cfg.NoFusion {
+		// Fuse producer→consumer pass chains at the program level, then
+		// verify the fused program again: the verifier must accept the
+		// merged chained passes exactly as it accepted the originals (the
+		// plan lowering would fuse them anyway; doing it here keeps what
+		// the verifier checks and what the hardware runs identical).
+		if _, err := tdl.Fuse(prog, resolve, r.layer.Config()); err != nil {
+			return nil, fmt.Errorf("mealibrt: fusion pass failed: %w", err)
+		}
+		if !r.cfg.NoVerify {
+			if err := tdlcheck.Verify(prog, resolve); err != nil {
+				return nil, fmt.Errorf("mealibrt: fused program rejected by the static verifier: %w", err)
+			}
 		}
 	}
 	d, err := tdl.Compile(prog, resolve)

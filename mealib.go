@@ -79,6 +79,15 @@ func WithMaxInFlight(n int) Option {
 	return func(c *mealibrt.Config) { c.MaxInFlight = n }
 }
 
+// WithoutFusion disables descriptor fusion: producer→consumer pass chains
+// stay separate passes and their intermediates round-trip through DRAM, as
+// in the paper's one-descriptor-per-call model. Results are bit-identical
+// with fusion on or off; only time, energy and DRAM traffic differ. Used
+// for differential testing and for measuring the traffic fusion elides.
+func WithoutFusion() Option {
+	return func(c *mealibrt.Config) { c.NoFusion = true }
+}
+
 // AcceleratorConfig returns the paper's accelerator layer configuration for
 // customisation with WithAccelerator.
 func AcceleratorConfig() *accel.Config { return accel.MEALibConfig() }
