@@ -1,6 +1,8 @@
 package mealib
 
 import (
+	"context"
+
 	"fmt"
 
 	"mealib/internal/accel"
@@ -245,7 +247,13 @@ type InstalledPlan struct {
 
 // Execute launches the plan.
 func (ip *InstalledPlan) Execute() (*Run, error) {
-	inv, err := ip.p.Execute()
+	return ip.ExecuteContext(context.Background())
+}
+
+// ExecuteContext launches the plan under a context bounding the admission
+// wait and the completion wait.
+func (ip *InstalledPlan) ExecuteContext(ctx context.Context) (*Run, error) {
+	inv, err := ip.p.Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +267,14 @@ type PendingRun struct {
 
 // Wait blocks until the flight completes and returns its Run.
 func (pr *PendingRun) Wait() (*Run, error) {
-	inv, err := pr.pi.Wait()
+	return pr.WaitContext(context.Background())
+}
+
+// WaitContext is Wait bounded by a context. Cancellation abandons the wait
+// only — the flight runs to completion, and a later WaitContext can still
+// collect it.
+func (pr *PendingRun) WaitContext(ctx context.Context) (*Run, error) {
+	inv, err := pr.pi.Wait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +286,13 @@ func (pr *PendingRun) Wait() (*Run, error) {
 // plans over disjoint data execute concurrently while conflicting plans
 // serialise — results are identical either way.
 func (ip *InstalledPlan) Submit() (*PendingRun, error) {
-	pi, err := ip.p.Submit()
+	return ip.SubmitContext(context.Background())
+}
+
+// SubmitContext is Submit bounded by a context: cancellation or deadline
+// abandons a submission still blocked in admission.
+func (ip *InstalledPlan) SubmitContext(ctx context.Context) (*PendingRun, error) {
+	pi, err := ip.p.Submit(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -61,4 +61,14 @@ go run ./cmd/mealib-trace -workload micro -op AXPY -out "$tracedir" >/dev/null
 grep -q traceEvents "$tracedir/trace.json"
 grep -q 'accel.launches' "$tracedir/metrics.json"
 
+echo "==> mealibd smoke gate (unix socket, 16 concurrent CHAIN tenants)"
+go run ./cmd/mealibd -smoke 16 >/dev/null
+
+echo "==> mealib-bench -serve smoke (loaded server, BENCH_SERVE.json)"
+servedir=$(mktemp -d)
+tmpdirs="$tmpdirs $servedir"
+go run ./cmd/mealib-bench -serve "$servedir" -launches 16 >/dev/null
+grep -q launches_per_sec "$servedir/BENCH_SERVE.json"
+grep -q wait_p99_us "$servedir/BENCH_SERVE.json"
+
 echo "check.sh: all gates passed"

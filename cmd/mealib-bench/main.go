@@ -29,6 +29,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "quantify the DESIGN.md design choices")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text tables")
 	micro := flag.String("micro", "", "run the functional-path micro-benchmarks and write BENCH_<op>.json files into this directory")
+	serve := flag.String("serve", "", "run the loaded-server benchmark (mealibd over unix sockets at 1/4/16 clients) and write BENCH_SERVE.json into this directory")
+	launches := flag.Int("launches", 64, "per-client launch count for -serve")
 	workers := flag.Int("workers", 0, "accelerator worker-pool size for -micro (0 = auto, 1 = serial)")
 	opsFlag := flag.String("ops", "", "comma-separated op filter for -micro (e.g. AXPY,FFT); empty = all ops")
 	flag.Parse()
@@ -70,6 +72,13 @@ func main() {
 	}
 
 	switch {
+	case *serve != "":
+		path, res, err := exp.WriteServeBench(*serve, *launches)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+		printTable(exp.RenderServe(res), nil)
 	case *micro != "":
 		var ops []string
 		for _, op := range strings.Split(*opsFlag, ",") {

@@ -1,0 +1,79 @@
+package accel
+
+import (
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// Wave-granularity execution hooks. A launch normally runs opaque to the
+// runtime: admission serialises whole conflicting descriptors because the
+// only progress signal is completion. WaveHooks opens the wavefront
+// scheduler up to an external observer at wave granularity, so a dependent
+// launch can start its first waves as the producer's last waves drain
+// instead of waiting for the whole descriptor to retire — the runtime's
+// wave-pipelining gate (internal/mealibrt) is the one consumer.
+
+// WaveSpan is one directional byte range a wave touches.
+type WaveSpan struct {
+	Addr  phys.Addr
+	Bytes units.Bytes
+	Write bool
+}
+
+// WaveHooks observes and gates the wavefront execution of one launch.
+// Methods are called from scheduler goroutines; implementations must be
+// concurrency-safe. A nil WaveHooks disables the machinery at zero cost.
+type WaveHooks interface {
+	// Lowered announces the launch's schedule before execution: one
+	// directional span list per topological wave, in execution order. A nil
+	// element means that wave's footprint could not be resolved (it must be
+	// treated as touching everything). A nil waves slice means the launch
+	// bypassed the plan IR entirely (streaming fallback) and executes as a
+	// single unresolvable wave 0.
+	Lowered(waves [][]WaveSpan)
+	// WaveStart blocks until wave w may execute. The scheduler calls it
+	// immediately before running the wave's nodes.
+	WaveStart(w int)
+	// WaveDone reports wave w complete; elapsed is the launch's cumulative
+	// model time through that wave (fetch/decode overhead excluded — it is
+	// charged once at launch end).
+	WaveDone(w int, elapsed units.Seconds)
+}
+
+// waveSpansOf materialises the per-wave directional footprint of a lowered
+// plan for WaveHooks.Lowered. A wave containing any barrier node (nil
+// spans) collapses to nil: its footprint is unknown and conflicts with
+// everything.
+func waveSpansOf(p *plan) [][]WaveSpan {
+	out := make([][]WaveSpan, len(p.waves))
+	for wi, wave := range p.waves {
+		spans := make([]WaveSpan, 0, len(wave))
+		bad := false
+		for _, k := range wave {
+			nd := &p.nodes[k]
+			if nd.spans == nil {
+				bad = true
+				break
+			}
+			for _, sp := range nd.spans {
+				spans = append(spans, WaveSpan{Addr: sp.addr, Bytes: sp.bytes, Write: sp.write})
+			}
+		}
+		if bad {
+			out[wi] = nil
+			continue
+		}
+		out[wi] = spans
+	}
+	return out
+}
+
+// RunHooked is Run with wave-granularity execution hooks: hooks.Lowered
+// receives the per-wave footprint once the plan IR is built, and every wave
+// is bracketed by WaveStart (which may block the wave until an external
+// hazard clears) and WaveDone (which reports the cumulative model time, so
+// the observer can place the wave on the model timeline). A nil hooks is
+// exactly Run.
+func (l *Layer) RunHooked(s *phys.Space, base phys.Addr, hooks WaveHooks) (*Report, error) {
+	return l.run(s, base, hooks)
+}

@@ -183,6 +183,11 @@ type execFunc func(op descriptor.OpCode, p descriptor.Params, it IterVec) (Work,
 // Execution is functional (data in the space is really transformed) and
 // modelled (the report carries time and energy).
 func (l *Layer) Run(s *phys.Space, base phys.Addr) (*Report, error) {
+	return l.run(s, base, nil)
+}
+
+// run is Run with optional wave-granularity hooks (see hooks.go).
+func (l *Layer) run(s *phys.Space, base phys.Addr, hooks WaveHooks) (*Report, error) {
 	cmd, err := descriptor.ReadCommand(s, base)
 	if err != nil {
 		return nil, err
@@ -202,7 +207,7 @@ func (l *Layer) Run(s *phys.Space, base phys.Addr) (*Report, error) {
 	tb.Begin(telemetry.SpanLaunch, "descriptor")
 	rep, err := l.interpret(d, func(op descriptor.OpCode, p descriptor.Params, it IterVec) (Work, error) {
 		return execute(s, op, p, it)
-	}, tb)
+	}, tb, hooks)
 	if err != nil {
 		tb.End(telemetry.SpanLaunch, 0)
 		return nil, err
@@ -254,8 +259,10 @@ func (l *Layer) RunModel(d *descriptor.Descriptor) (*Report, error) {
 // interpret lowers the descriptor into the execution-plan IR (plan.go) and
 // runs it with the wavefront scheduler (sched.go). Oversized expansions —
 // LOOP trip counts past planMaxNodes — stream through the legacy loop
-// executor instead of materialising the DAG.
-func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc, tb *telemetry.Buf) (*Report, error) {
+// executor instead of materialising the DAG; a hooked streaming launch
+// reports itself as a single unresolvable wave, so external gating falls
+// back to whole-launch ordering.
+func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc, tb *telemetry.Buf, hooks WaveHooks) (*Report, error) {
 	tb.Begin(telemetry.SpanPlanLower, "lower")
 	p, err := l.buildPlan(d, planExpand)
 	if err != nil {
@@ -265,12 +272,24 @@ func (l *Layer) interpret(d *descriptor.Descriptor, exec execFunc, tb *telemetry
 	if p == nil {
 		tb.End(telemetry.SpanPlanLower, 0)
 		l.met.streamFallbacks.Add(1)
-		return l.interpretStream(d, exec, tb)
+		if hooks != nil {
+			hooks.Lowered(nil)
+			hooks.WaveStart(0)
+		}
+		rep, err := l.interpretStream(d, exec, tb)
+		if hooks != nil {
+			var elapsed units.Seconds
+			if rep != nil {
+				elapsed = rep.Time
+			}
+			hooks.WaveDone(0, elapsed)
+		}
+		return rep, err
 	}
 	tb.End2(telemetry.SpanPlanLower, 0,
 		telemetry.Arg{Key: "nodes", Val: int64(len(p.nodes))},
 		telemetry.Arg{Key: "waves", Val: int64(len(p.waves))})
-	return l.runPlan(p, exec, tb)
+	return l.runPlan(p, exec, tb, hooks)
 }
 
 // interpretModel is interpret through the same plan IR and scheduler, with
@@ -297,7 +316,7 @@ func (l *Layer) interpretModel(d *descriptor.Descriptor, tb *telemetry.Buf) (*Re
 	tb.End2(telemetry.SpanPlanLower, 0,
 		telemetry.Arg{Key: "nodes", Val: int64(len(p.nodes))},
 		telemetry.Arg{Key: "waves", Val: int64(len(p.waves))})
-	return l.runPlan(p, model, tb)
+	return l.runPlan(p, model, tb, nil)
 }
 
 // interpretStream is the pre-IR walker: it executes the instruction stream

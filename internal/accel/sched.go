@@ -99,15 +99,21 @@ func (r *Report) scale(n int64) {
 
 // runPlan executes the plan with the given evaluator and returns the
 // merged report. The first error in node order wins, matching what serial
-// execution would have returned.
-func (l *Layer) runPlan(p *plan, exec execFunc, tb *telemetry.Buf) (*Report, error) {
+// execution would have returned. Non-nil hooks bracket every wave with
+// WaveStart/WaveDone (hooks.go) and force the wave loop even at one worker,
+// so external gating sees the same wave boundaries either way; sub-reports
+// still merge in node order, keeping hooked and unhooked runs bit-identical.
+func (l *Layer) runPlan(p *plan, exec execFunc, tb *telemetry.Buf, hooks WaveHooks) (*Report, error) {
 	rep := newReport()
 	rep.Time += p.fixed
 	workers := l.planWorkers(p)
 	l.met.wavesPerLaunch.Observe(int64(len(p.waves)))
 	l.met.fusedGroups.Add(int64(len(p.fused)))
 	l.met.fusionSpills.Add(int64(p.fusionSpills))
-	if workers <= 1 {
+	if hooks != nil {
+		hooks.Lowered(waveSpansOf(p))
+	}
+	if workers <= 1 && hooks == nil {
 		// Serial: node order is a topological order (edges always point
 		// forward), so in-order execution respects every edge.
 		for k := range p.nodes {
@@ -122,14 +128,20 @@ func (l *Layer) runPlan(p *plan, exec execFunc, tb *telemetry.Buf) (*Report, err
 	subs := make([]*Report, len(p.nodes))
 	errs := make([]error, len(p.nodes))
 	failed := false
+	elapsed := p.fixed
 	for wi, wave := range p.waves {
 		l.met.waveWidth.Observe(int64(len(wave)))
+		if hooks != nil {
+			hooks.WaveStart(wi)
+		}
 		tb.Begin(telemetry.SpanWave, "wave")
-		if len(wave) == 1 {
-			// Single-node waves run inline: a serial chain (SPMV loop,
-			// chained passes) must not pay goroutine hand-off per node.
-			k := wave[0]
-			subs[k], errs[k] = l.runNode(exec, &p.nodes[k], tb)
+		if len(wave) == 1 || workers == 1 {
+			// Single-node waves (and hooked serial runs) execute inline: a
+			// serial chain (SPMV loop, chained passes) must not pay
+			// goroutine hand-off per node.
+			for _, k := range wave {
+				subs[k], errs[k] = l.runNode(exec, &p.nodes[k], tb)
+			}
 		} else {
 			w := workers
 			if w > len(wave) {
@@ -163,7 +175,12 @@ func (l *Layer) runPlan(p *plan, exec execFunc, tb *telemetry.Buf) (*Report, err
 		for _, k := range wave {
 			if errs[k] != nil {
 				failed = true
+			} else if subs[k] != nil {
+				elapsed += subs[k].Time
 			}
+		}
+		if hooks != nil {
+			hooks.WaveDone(wi, elapsed)
 		}
 		if failed {
 			// Dependents of the failed node must not run; later waves are

@@ -9,6 +9,7 @@
 package sar
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -114,7 +115,7 @@ func (pl *Pipeline) FormImageChained() (*mealibrt.Invocation, error) {
 		return nil, err
 	}
 	defer func() { _ = plan.Destroy() }()
-	return plan.Execute()
+	return plan.Execute(context.Background())
 }
 
 // FormImageSeparate runs the two stages as separate descriptor invocations
@@ -136,7 +137,7 @@ func (pl *Pipeline) FormImageSeparate() (first, second *mealibrt.Invocation, err
 			return nil, err
 		}
 		defer func() { _ = plan.Destroy() }()
-		return plan.Execute()
+		return plan.Execute(context.Background())
 	}
 	if first, err = mk(descriptor.OpRESMP, resmp.Params()); err != nil {
 		return nil, nil, err

@@ -1,6 +1,7 @@
 package stap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -92,7 +93,7 @@ func (pl *Pipeline) DopplerProcess() (*mealibrt.Invocation, error) {
 		return nil, err
 	}
 	defer func() { _ = plan.Destroy() }()
-	return plan.Execute()
+	return plan.Execute(context.Background())
 }
 
 // SolveWeights runs the compute-bounded covariance/solve stages on the host
@@ -181,7 +182,7 @@ func (pl *Pipeline) InnerProducts() (*mealibrt.Invocation, error) {
 		return nil, err
 	}
 	defer func() { _ = plan.Destroy() }()
-	return plan.Execute()
+	return plan.Execute(context.Background())
 }
 
 // Prods returns the inner-product results.

@@ -1,6 +1,7 @@
 package ccompiler
 
 import (
+	"context"
 	"math/cmplx"
 	"math/rand"
 	"os"
@@ -104,7 +105,7 @@ func TestSTAPEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", plan.Name, err)
 		}
-		if _, err := p.Execute(); err != nil {
+		if _, err := p.Execute(context.Background()); err != nil {
 			t.Fatalf("%s: %v", plan.Name, err)
 		}
 		if err := p.Destroy(); err != nil {

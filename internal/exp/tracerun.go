@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mealib/internal/accel"
@@ -168,23 +169,23 @@ func TraceMicro(tr *telemetry.Tracer, op string) error {
 	if err != nil {
 		return err
 	}
-	fa, err := pa.Submit()
+	fa, err := pa.Submit(context.Background())
 	if err != nil {
 		return err
 	}
-	fb, err := pb.Submit()
+	fb, err := pb.Submit(context.Background())
 	if err != nil {
 		return err
 	}
 	// Resubmitting pa conflicts with its own in-flight writes: this Submit
 	// blocks in admission until the first flight retires.
-	fc, err := pa.Submit()
+	fc, err := pa.Submit(context.Background())
 	if err != nil {
 		return err
 	}
 	var total units.Seconds
 	for _, f := range []*mealibrt.PendingInvocation{fa, fb, fc} {
-		inv, err := f.Wait()
+		inv, err := f.Wait(context.Background())
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,311 @@
+// Package client talks the mealibd wire protocol: it gives a remote tenant
+// the same surface a mealibrt.Session gives an in-process one — allocate
+// quota-accounted buffers, install descriptors as plans, submit and wait —
+// with the runtime's typed errors (quota exceeded, queue full, session
+// closed) reconstructed from the wire so errors.Is works across the socket.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mealib/internal/descriptor"
+	"mealib/internal/mealibd"
+	"mealib/internal/mealibrt"
+	"mealib/internal/units"
+)
+
+// Config opens a tenant session.
+type Config struct {
+	// Network/Addr name the server endpoint ("unix", "/run/mealibd.sock" or
+	// "tcp", "host:port").
+	Network, Addr string
+	// Tenant is the session name (required).
+	Tenant string
+	// Quota/MaxInFlight/MaxQueued request session bounds (0 = the server's
+	// defaults, which may themselves be unlimited).
+	Quota       units.Bytes
+	MaxInFlight int
+	MaxQueued   int
+}
+
+// Client is one open tenant session. Methods are safe for concurrent use;
+// requests serialise on the single connection.
+type Client struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// Buffer is a remote quota-accounted allocation.
+type Buffer struct {
+	cl *Client
+	id uint64
+	pa uint64
+}
+
+// PA returns the buffer's physical address in the server's simulated stack —
+// what descriptor parameters carry.
+func (b *Buffer) PA() uint64 { return b.pa }
+
+// Plan is a remotely installed descriptor.
+type Plan struct {
+	cl *Client
+	id uint64
+}
+
+// Ticket is an in-flight submission.
+type Ticket struct {
+	cl *Client
+	id uint64
+}
+
+// Dial connects and opens the session.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Tenant == "" {
+		return nil, fmt.Errorf("client: config needs a tenant name")
+	}
+	c, err := net.Dial(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{c: c}
+	_, err = cl.roundTrip(mealibd.MsgHello, func(e *mealibd.Enc) error {
+		e.Str(cfg.Tenant)
+		e.U64(uint64(cfg.Quota))
+		e.U32(uint32(cfg.MaxInFlight))
+		e.U32(uint32(cfg.MaxQueued))
+		return nil
+	})
+	if err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Close tears the connection down; the server drains and closes the session
+// (its buffers and plans are released).
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.c.Close()
+}
+
+// roundTrip sends one request frame and decodes the reply envelope.
+func (cl *Client) roundTrip(msg uint8, body func(*mealibd.Enc) error) (*mealibd.Dec, error) {
+	e := &mealibd.Enc{}
+	e.U8(msg)
+	if body != nil {
+		if err := body(e); err != nil {
+			return nil, err
+		}
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if err := mealibd.WriteFrame(cl.c, e.Payload()); err != nil {
+		return nil, err
+	}
+	payload, err := mealibd.ReadFrame(cl.c)
+	if err != nil {
+		return nil, err
+	}
+	d := mealibd.NewDec(payload)
+	switch status := d.U8(); status {
+	case mealibd.ReplyOK:
+		return d, nil
+	case mealibd.ReplyErr:
+		code := d.U16()
+		msg := d.Str()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, wireError(code, msg)
+	default:
+		return nil, fmt.Errorf("client: unknown reply status %d", status)
+	}
+}
+
+// wireError rebuilds the runtime's typed sentinels from the wire code, so
+// remote callers branch on errors.Is(err, mealibrt.ErrQuotaExceeded) etc.
+// exactly like in-process ones.
+func wireError(code uint16, msg string) error {
+	switch code {
+	case mealibd.CodeQuotaExceeded:
+		return fmt.Errorf("%w (remote: %s)", mealibrt.ErrQuotaExceeded, msg)
+	case mealibd.CodeQueueFull:
+		return fmt.Errorf("%w (remote: %s)", mealibrt.ErrQueueFull, msg)
+	case mealibd.CodeSessionClosed:
+		return fmt.Errorf("%w (remote: %s)", mealibrt.ErrSessionClosed, msg)
+	default:
+		return fmt.Errorf("client: server error: %s", msg)
+	}
+}
+
+// Alloc reserves n bytes on the local memory stack.
+func (cl *Client) Alloc(n units.Bytes) (*Buffer, error) {
+	return cl.AllocOn(0, n)
+}
+
+// AllocOn reserves n bytes on an explicit stack.
+func (cl *Client) AllocOn(stack int, n units.Bytes) (*Buffer, error) {
+	d, err := cl.roundTrip(mealibd.MsgAlloc, func(e *mealibd.Enc) error {
+		e.U32(uint32(stack))
+		e.U64(uint64(n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{cl: cl, id: d.U64(), pa: d.U64()}
+	return b, d.Err()
+}
+
+// Free releases the buffer (and its quota).
+func (b *Buffer) Free() error {
+	_, err := b.cl.roundTrip(mealibd.MsgFree, func(e *mealibd.Enc) error {
+		e.U64(b.id)
+		return nil
+	})
+	return err
+}
+
+func (b *Buffer) store(kind uint8, data []byte, off units.Bytes) error {
+	_, err := b.cl.roundTrip(mealibd.MsgStore, func(e *mealibd.Enc) error {
+		e.U64(b.id)
+		e.U64(uint64(off))
+		e.U8(kind)
+		e.Bytes(data)
+		return nil
+	})
+	return err
+}
+
+func (b *Buffer) load(kind uint8, off units.Bytes, count int) ([]byte, error) {
+	d, err := b.cl.roundTrip(mealibd.MsgLoad, func(e *mealibd.Enc) error {
+		e.U64(b.id)
+		e.U64(uint64(off))
+		e.U8(kind)
+		e.U32(uint32(count))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := d.Bytes()
+	return data, d.Err()
+}
+
+// StoreFloat32s writes vs at byte offset off.
+func (b *Buffer) StoreFloat32s(off units.Bytes, vs []float32) error {
+	return b.store(mealibd.ElemF32, mealibd.F32ToBytes(vs), off)
+}
+
+// LoadFloat32s reads count float32 values at byte offset off.
+func (b *Buffer) LoadFloat32s(off units.Bytes, count int) ([]float32, error) {
+	data, err := b.load(mealibd.ElemF32, off, count)
+	if err != nil {
+		return nil, err
+	}
+	return mealibd.BytesToF32(data), nil
+}
+
+// StoreComplex64s writes vs at byte offset off.
+func (b *Buffer) StoreComplex64s(off units.Bytes, vs []complex64) error {
+	return b.store(mealibd.ElemC64, mealibd.C64ToBytes(vs), off)
+}
+
+// LoadComplex64s reads count complex64 values at byte offset off.
+func (b *Buffer) LoadComplex64s(off units.Bytes, count int) ([]complex64, error) {
+	data, err := b.load(mealibd.ElemC64, off, count)
+	if err != nil {
+		return nil, err
+	}
+	return mealibd.BytesToC64(data), nil
+}
+
+// StoreInt32s writes vs at byte offset off.
+func (b *Buffer) StoreInt32s(off units.Bytes, vs []int32) error {
+	return b.store(mealibd.ElemI32, mealibd.I32ToBytes(vs), off)
+}
+
+// LoadInt32s reads count int32 values at byte offset off.
+func (b *Buffer) LoadInt32s(off units.Bytes, count int) ([]int32, error) {
+	data, err := b.load(mealibd.ElemI32, off, count)
+	if err != nil {
+		return nil, err
+	}
+	return mealibd.BytesToI32(data), nil
+}
+
+// Plan installs a descriptor in the tenant's namespace. The server
+// re-verifies it and rejects any footprint outside the tenant's buffers.
+func (cl *Client) Plan(desc *descriptor.Descriptor) (*Plan, error) {
+	d, err := cl.roundTrip(mealibd.MsgPlan, func(e *mealibd.Enc) error {
+		return mealibd.MarshalDescriptor(e, desc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{cl: cl, id: d.U64()}
+	return p, d.Err()
+}
+
+// Destroy releases the installed plan.
+func (p *Plan) Destroy() error {
+	_, err := p.cl.roundTrip(mealibd.MsgDestroyPlan, func(e *mealibd.Enc) error {
+		e.U64(p.id)
+		return nil
+	})
+	return err
+}
+
+// Submit launches (or batches) the plan and returns its ticket. Admission is
+// asynchronous: typed backpressure errors (queue full, session closed)
+// surface at the ticket's Wait.
+func (p *Plan) Submit() (*Ticket, error) {
+	d, err := p.cl.roundTrip(mealibd.MsgSubmit, func(e *mealibd.Enc) error {
+		e.U64(p.id)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Ticket{cl: p.cl, id: d.U64()}
+	return t, d.Err()
+}
+
+// Wait blocks until the ticket's flight completes and returns its report.
+func (t *Ticket) Wait() (*mealibd.Report, error) {
+	d, err := t.cl.roundTrip(mealibd.MsgWait, func(e *mealibd.Enc) error {
+		e.U64(t.id)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := mealibd.UnmarshalReport(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Execute is Submit followed by Wait.
+func (p *Plan) Execute() (*mealibd.Report, error) {
+	t, err := p.Submit()
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait()
+}
+
+// Stats fetches the tenant + runtime accounting snapshot as JSON.
+func (cl *Client) Stats() ([]byte, error) {
+	d, err := cl.roundTrip(mealibd.MsgStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	js := d.Bytes()
+	return js, d.Err()
+}

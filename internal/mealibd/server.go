@@ -1,0 +1,617 @@
+package mealibd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mealib/internal/analysis/tdlcheck"
+	"mealib/internal/descriptor"
+	"mealib/internal/mealibrt"
+	"mealib/internal/telemetry"
+	"mealib/internal/units"
+)
+
+// Config assembles a server around one runtime.
+type Config struct {
+	// Runtime is the shared simulated stack every tenant runs against.
+	Runtime *mealibrt.Runtime
+	// BatchMax caps the number of compatible small descriptors coalesced
+	// into one merged launch (0 selects the default of 8; 1 disables
+	// batching).
+	BatchMax int
+	// BatchBytes is the footprint ceiling for a descriptor to be batchable
+	// (0 selects the default of 256 KiB). Loop descriptors never batch.
+	BatchBytes units.Bytes
+	// DefaultQuota/DefaultMaxInFlight/DefaultMaxQueued apply to sessions
+	// whose hello leaves the corresponding field zero (0 = unlimited).
+	DefaultQuota       units.Bytes
+	DefaultMaxInFlight int
+	DefaultMaxQueued   int
+}
+
+// Server accepts tenant connections and multiplexes them onto the runtime:
+// one connection is one session — a private buffer namespace under a memory
+// quota, with the runtime's fair admission interleaving its launches with
+// every other tenant's.
+type Server struct {
+	cfg Config
+	rt  *mealibrt.Runtime
+
+	// batch metrics live in the runtime's registry next to the per-session
+	// series (nil-safe when telemetry is off).
+	mBatches   *telemetry.Counter
+	mCoalesced *telemetry.Counter
+	hWaitNanos *telemetry.Histogram
+
+	mu     sync.Mutex
+	closed bool
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("mealibd: config needs a runtime")
+	}
+	if cfg.BatchMax == 0 {
+		cfg.BatchMax = 8
+	}
+	if cfg.BatchBytes == 0 {
+		cfg.BatchBytes = 256 * units.KiB
+	}
+	reg := cfg.Runtime.Tracer().Metrics()
+	return &Server{
+		cfg:        cfg,
+		rt:         cfg.Runtime,
+		mBatches:   reg.Counter("mealibd.batched_launches"),
+		mCoalesced: reg.Counter("mealibd.coalesced_descriptors"),
+		hWaitNanos: reg.Histogram("mealibd.wait_nanos"),
+		lns:        make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections until the listener closes (or Close is called)
+// and serves each on its own goroutine. It returns nil on clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("mealibd: server closed")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection and waits for the handlers
+// to drain (in-flight launches complete; their sessions close cleanly).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		_ = ln.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// pending is one submitted ticket: direct flights wrap a
+// PendingInvocation's completion; batched tickets are fanned out by the
+// merged launch.
+type pending struct {
+	done chan struct{}
+	rep  Report
+	err  error
+}
+
+// srvConn is one tenant connection's state. All fields are touched only by
+// the connection's handler goroutine (requests are serialised on the wire);
+// completion goroutines write into pending structs before closing done.
+type srvConn struct {
+	srv  *Server
+	c    net.Conn
+	sess *mealibrt.Session
+
+	nextID      uint64
+	bufs        map[uint64]*mealibrt.Buffer
+	plans       map[uint64]*mealibrt.Plan
+	tickets     map[uint64]*pending
+	batch       *batcher
+	outstanding []*submission
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	sc := &srvConn{
+		srv:     s,
+		c:       c,
+		bufs:    make(map[uint64]*mealibrt.Buffer),
+		plans:   make(map[uint64]*mealibrt.Plan),
+		tickets: make(map[uint64]*pending),
+	}
+	defer sc.cleanup()
+	for {
+		payload, err := ReadFrame(c)
+		if err != nil {
+			return // disconnect (clean EOF included)
+		}
+		d := NewDec(payload)
+		reply, err := sc.dispatch(d)
+		if err != nil {
+			reply = errReply(err)
+		}
+		if err := WriteFrame(c, reply); err != nil {
+			return
+		}
+	}
+}
+
+// cleanup flushes any batch still pending, waits out the tenant's tickets
+// and closes the session, releasing its buffers and plans.
+func (sc *srvConn) cleanup() {
+	_ = sc.c.Close()
+	if sc.batch != nil {
+		sc.batch.flush()
+	}
+	for _, p := range sc.tickets {
+		<-p.done
+	}
+	if sc.sess != nil {
+		_ = sc.sess.Close()
+	}
+}
+
+// errReply maps an error onto the wire, preserving the runtime's typed
+// sentinels as dedicated codes.
+func errReply(err error) []byte {
+	code := CodeGeneric
+	switch {
+	case errors.Is(err, mealibrt.ErrQuotaExceeded):
+		code = CodeQuotaExceeded
+	case errors.Is(err, mealibrt.ErrQueueFull):
+		code = CodeQueueFull
+	case errors.Is(err, mealibrt.ErrSessionClosed):
+		code = CodeSessionClosed
+	}
+	e := &Enc{}
+	e.U8(ReplyErr)
+	e.U16(code)
+	e.Str(err.Error())
+	return e.Payload()
+}
+
+func okReply(body func(*Enc)) []byte {
+	e := &Enc{}
+	e.U8(ReplyOK)
+	if body != nil {
+		body(e)
+	}
+	return e.Payload()
+}
+
+func (sc *srvConn) dispatch(d *Dec) ([]byte, error) {
+	t := d.U8()
+	if sc.sess == nil && t != MsgHello {
+		return nil, fmt.Errorf("mealibd: first message must be hello")
+	}
+	switch t {
+	case MsgHello:
+		return sc.handleHello(d)
+	case MsgAlloc:
+		return sc.handleAlloc(d)
+	case MsgFree:
+		return sc.handleFree(d)
+	case MsgStore:
+		return sc.handleStore(d)
+	case MsgLoad:
+		return sc.handleLoad(d)
+	case MsgPlan:
+		return sc.handlePlan(d)
+	case MsgDestroyPlan:
+		return sc.handleDestroyPlan(d)
+	case MsgSubmit:
+		return sc.handleSubmit(d)
+	case MsgWait:
+		return sc.handleWait(d)
+	case MsgStats:
+		return sc.handleStats(d)
+	default:
+		return nil, fmt.Errorf("mealibd: unknown message type %d", t)
+	}
+}
+
+func (sc *srvConn) handleHello(d *Dec) ([]byte, error) {
+	if sc.sess != nil {
+		return nil, fmt.Errorf("mealibd: session already open")
+	}
+	name := d.Str()
+	quota := units.Bytes(d.U64())
+	maxInFlight := int(d.U32())
+	maxQueued := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	cfg := sc.srv.cfg
+	if quota == 0 {
+		quota = cfg.DefaultQuota
+	}
+	if maxInFlight == 0 {
+		maxInFlight = cfg.DefaultMaxInFlight
+	}
+	if maxQueued == 0 {
+		maxQueued = cfg.DefaultMaxQueued
+	}
+	sess, err := sc.srv.rt.NewSession(mealibrt.SessionConfig{
+		Name:        name,
+		MemQuota:    quota,
+		MaxInFlight: maxInFlight,
+		MaxQueued:   maxQueued,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.sess = sess
+	sc.batch = &batcher{sc: sc}
+	return okReply(func(e *Enc) {
+		e.U64(uint64(quota))
+		e.U32(uint32(maxInFlight))
+		e.U32(uint32(maxQueued))
+	}), nil
+}
+
+func (sc *srvConn) handleAlloc(d *Dec) ([]byte, error) {
+	stack := int(d.U32())
+	n := units.Bytes(d.U64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	b, err := sc.sess.MemAllocOn(stack, n)
+	if err != nil {
+		return nil, err
+	}
+	sc.nextID++
+	id := sc.nextID
+	sc.bufs[id] = b
+	return okReply(func(e *Enc) {
+		e.U64(id)
+		e.U64(uint64(b.PA()))
+	}), nil
+}
+
+func (sc *srvConn) handleFree(d *Dec) ([]byte, error) {
+	id := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	b, ok := sc.bufs[id]
+	if !ok {
+		return nil, fmt.Errorf("mealibd: unknown buffer %d", id)
+	}
+	// A batched descriptor may still reference the buffer: flush first so
+	// the free waits behind the launch, not ahead of it.
+	sc.batch.flush()
+	if err := sc.sess.MemFree(b); err != nil {
+		return nil, err
+	}
+	delete(sc.bufs, id)
+	return okReply(nil), nil
+}
+
+func (sc *srvConn) handleStore(d *Dec) ([]byte, error) {
+	id := d.U64()
+	off := units.Bytes(d.U64())
+	kind := d.U8()
+	data := d.Bytes()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	b, ok := sc.bufs[id]
+	if !ok {
+		return nil, fmt.Errorf("mealibd: unknown buffer %d", id)
+	}
+	switch kind {
+	case ElemF32:
+		if len(data)%4 != 0 {
+			return nil, fmt.Errorf("mealibd: f32 store of %d bytes not a multiple of 4", len(data))
+		}
+		return okReply(nil), b.StoreFloat32s(off, BytesToF32(data))
+	case ElemC64:
+		if len(data)%8 != 0 {
+			return nil, fmt.Errorf("mealibd: c64 store of %d bytes not a multiple of 8", len(data))
+		}
+		return okReply(nil), b.StoreComplex64s(off, BytesToC64(data))
+	case ElemI32:
+		if len(data)%4 != 0 {
+			return nil, fmt.Errorf("mealibd: i32 store of %d bytes not a multiple of 4", len(data))
+		}
+		return okReply(nil), b.StoreInt32s(off, BytesToI32(data))
+	default:
+		return nil, fmt.Errorf("mealibd: unknown element kind %d", kind)
+	}
+}
+
+func (sc *srvConn) handleLoad(d *Dec) ([]byte, error) {
+	id := d.U64()
+	off := units.Bytes(d.U64())
+	kind := d.U8()
+	count := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	b, ok := sc.bufs[id]
+	if !ok {
+		return nil, fmt.Errorf("mealibd: unknown buffer %d", id)
+	}
+	// Loads observe launched data: anything still sitting in the batch must
+	// fly first.
+	sc.batch.flush()
+	var data []byte
+	switch kind {
+	case ElemF32:
+		vs, err := b.LoadFloat32s(off, count)
+		if err != nil {
+			return nil, err
+		}
+		data = F32ToBytes(vs)
+	case ElemC64:
+		vs, err := b.LoadComplex64s(off, count)
+		if err != nil {
+			return nil, err
+		}
+		data = C64ToBytes(vs)
+	case ElemI32:
+		vs, err := b.LoadInt32s(off, count)
+		if err != nil {
+			return nil, err
+		}
+		data = I32ToBytes(vs)
+	default:
+		return nil, fmt.Errorf("mealibd: unknown element kind %d", kind)
+	}
+	return okReply(func(e *Enc) { e.Bytes(data) }), nil
+}
+
+func (sc *srvConn) handlePlan(d *Dec) ([]byte, error) {
+	desc, err := UnmarshalDescriptor(d)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sc.sess.AccPlanDescriptor(desc)
+	if err != nil {
+		return nil, err
+	}
+	sc.nextID++
+	id := sc.nextID
+	sc.plans[id] = p
+	return okReply(func(e *Enc) { e.U64(id) }), nil
+}
+
+func (sc *srvConn) handleDestroyPlan(d *Dec) ([]byte, error) {
+	id := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	p, ok := sc.plans[id]
+	if !ok {
+		return nil, fmt.Errorf("mealibd: unknown plan %d", id)
+	}
+	sc.batch.flush()
+	if err := p.Destroy(); err != nil {
+		return nil, err
+	}
+	delete(sc.plans, id)
+	return okReply(nil), nil
+}
+
+func (sc *srvConn) handleSubmit(d *Dec) ([]byte, error) {
+	id := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	p, ok := sc.plans[id]
+	if !ok {
+		return nil, fmt.Errorf("mealibd: unknown plan %d", id)
+	}
+	pend := &pending{done: make(chan struct{})}
+	sc.batch.submit(p, pend)
+	sc.nextID++
+	ticket := sc.nextID
+	sc.tickets[ticket] = pend
+	return okReply(func(e *Enc) { e.U64(ticket) }), nil
+}
+
+func (sc *srvConn) handleWait(d *Dec) ([]byte, error) {
+	ticket := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	pend, ok := sc.tickets[ticket]
+	if !ok {
+		return nil, fmt.Errorf("mealibd: unknown ticket %d", ticket)
+	}
+	// The awaited ticket may still be sitting in the batch.
+	sc.batch.flush()
+	<-pend.done
+	delete(sc.tickets, ticket)
+	if pend.err != nil {
+		return nil, pend.err
+	}
+	rep := pend.rep
+	return okReply(func(e *Enc) { MarshalReport(e, &rep) }), nil
+}
+
+// statsBody is the MsgStats JSON payload.
+type statsBody struct {
+	Tenant    string                 `json:"tenant"`
+	Session   mealibrt.SessionStats  `json:"session"`
+	Runtime   mealibrt.Stats         `json:"runtime"`
+	ModelTime units.Seconds          `json:"model_time"`
+	Metrics   map[string]int64       `json:"metrics,omitempty"`
+	Quantiles map[string]interface{} `json:"-"`
+}
+
+func (sc *srvConn) handleStats(d *Dec) ([]byte, error) {
+	sc.batch.flush()
+	body := statsBody{
+		Tenant:    sc.sess.Name(),
+		Session:   sc.sess.Stats(),
+		Runtime:   sc.srv.rt.Stats(),
+		ModelTime: sc.srv.rt.ModelTime(),
+	}
+	if reg := sc.srv.rt.Tracer().Metrics(); reg != nil {
+		snap := reg.Snapshot()
+		body.Metrics = make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+		for name, v := range snap.Counters {
+			body.Metrics[name] = v
+		}
+		for name, v := range snap.Gauges {
+			body.Metrics[name] = v
+		}
+	}
+	js, err := json.Marshal(&body)
+	if err != nil {
+		return nil, err
+	}
+	return okReply(func(e *Enc) { e.Bytes(js) }), nil
+}
+
+// submission pins per-connection launch order: a later launch whose
+// footprint conflicts with an earlier one from the same connection must not
+// reach the runtime's admission queue first, or the producer/consumer order
+// the tenant expressed on the wire could invert. Each launch registers here
+// and closes registered once its Submit call returned — at which point the
+// runtime has fixed its place in the schedule (or rejected it).
+type submission struct {
+	writes, reads []tdlcheck.Span
+	registered    chan struct{}
+}
+
+// launch admits p asynchronously and fans the completed invocation out to
+// pends (batched tells the report how many coalesced members share the
+// flight; ephemeral plans are destroyed after it drains). The connection
+// goroutine stays free to serve waits and stats while the launch sits in
+// admission, so backpressure errors — queue full, session closed — surface
+// at the ticket's Wait. A launch conflicting with an earlier not-yet-admitted
+// launch from this connection waits for it to register first, preserving
+// wire order exactly where it matters; disjoint launches race freely.
+func (sc *srvConn) launch(p *mealibrt.Plan, ephemeral bool, batched int64, pends []*pending) {
+	writes, reads := p.Footprint()
+	var deps []*submission
+	live := sc.outstanding[:0]
+	for _, o := range sc.outstanding {
+		select {
+		case <-o.registered:
+			continue // admitted or rejected: runtime order is already fixed
+		default:
+		}
+		live = append(live, o)
+		if tdlSpansOverlap(writes, o.writes) ||
+			tdlSpansOverlap(writes, o.reads) ||
+			tdlSpansOverlap(reads, o.writes) {
+			deps = append(deps, o)
+		}
+	}
+	sub := &submission{writes: writes, reads: reads, registered: make(chan struct{})}
+	sc.outstanding = append(live, sub)
+	h := sc.srv.hWaitNanos
+	go func() {
+		for _, d := range deps {
+			<-d.registered
+		}
+		pi, err := p.Submit(context.Background())
+		close(sub.registered)
+		if err == nil {
+			var inv *mealibrt.Invocation
+			inv, err = pi.Wait(context.Background())
+			if err == nil {
+				rep := reportOf(inv, batched)
+				for _, pend := range pends {
+					pend.rep = rep
+				}
+				h.Observe(int64(float64(inv.Report.Time) * 1e9))
+			}
+		}
+		if ephemeral {
+			_ = p.Destroy()
+		}
+		for _, pend := range pends {
+			pend.err = err
+			close(pend.done)
+		}
+	}()
+}
+
+func reportOf(inv *mealibrt.Invocation, batched int64) Report {
+	return Report{
+		Comps:          inv.Report.Comps,
+		Batched:        batched,
+		Time:           inv.Report.Time,
+		Energy:         inv.Report.Energy,
+		OverheadTime:   inv.OverheadTime,
+		OverheadEnergy: inv.OverheadEnergy,
+		HostIdleEnergy: inv.HostIdleEnergy,
+		BytesMoved:     inv.Report.NoCBytes,
+		BytesElided:    inv.Report.ElidedBytes,
+	}
+}
+
+// footprint sums a span set's bytes.
+func footprint(spans []tdlcheck.Span) units.Bytes {
+	var n units.Bytes
+	for _, s := range spans {
+		n += s.Bytes
+	}
+	return n
+}
+
+// hasLoop reports whether the descriptor contains a hardware loop.
+func hasLoop(d *descriptor.Descriptor) bool {
+	for _, in := range d.Instrs {
+		if in.Kind == descriptor.KindLoop {
+			return true
+		}
+	}
+	return false
+}

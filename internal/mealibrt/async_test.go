@@ -1,6 +1,7 @@
 package mealibrt
 
 import (
+	"context"
 	"testing"
 
 	"mealib/internal/accel"
@@ -68,18 +69,18 @@ func TestSubmitDisjointFlights(t *testing.T) {
 	pa, _, ya := axpyPlan(t, r, 3, n)
 	pb, _, yb := axpyPlan(t, r, 5, n)
 
-	fa, err := pa.Submit()
+	fa, err := pa.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, err := pb.Submit()
+	fb, err := pb.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fa.Wait(); err != nil {
+	if _, err := fa.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fb.Wait(); err != nil {
+	if _, err := fb.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkAxpy(t, ya, 3, n)
@@ -111,20 +112,20 @@ func TestSubmitConflictingFlightsSerialize(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f1, err := p1.Submit()
+	f1, err := p1.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Conflicts on both x (read-write ordering is irrelevant here) and y
 	// (write-write): Submit blocks until the first flight drains.
-	f2, err := p2.Submit()
+	f2, err := p2.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f1.Wait(); err != nil {
+	if _, err := f1.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f2.Wait(); err != nil {
+	if _, err := f2.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// y = 1 + 2*(i%7) + 4*(i%7), whichever flight ran first.
@@ -154,18 +155,18 @@ func TestSubmitMaxInFlight(t *testing.T) {
 	pb, _, yb := axpyPlan(t, r, 5, n)
 	before := r.Link().Transfers()
 
-	fa, err := pa.Submit()
+	fa, err := pa.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, err := pb.Submit()
+	fb, err := pb.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fa.Wait(); err != nil {
+	if _, err := fa.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fb.Wait(); err != nil {
+	if _, err := fb.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkAxpy(t, ya, 3, n)
@@ -216,7 +217,7 @@ func TestHostSurfacesBlockedDuringFlight(t *testing.T) {
 	}
 
 	// With ownership back, the same plan still executes.
-	inv, err := p.Execute()
+	inv, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestHostSurfacesBlockedDuringFlight(t *testing.T) {
 	if err := p.Destroy(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Submit(); err == nil {
+	if _, err := p.Submit(context.Background()); err == nil {
 		t.Error("submit of a destroyed plan must fail")
 	}
 }

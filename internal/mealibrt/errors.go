@@ -1,0 +1,18 @@
+package mealibrt
+
+import "errors"
+
+// Typed session errors. The mealibd wire protocol maps these onto error
+// codes, and the client package maps the codes back, so errors.Is works
+// identically in-process and across the socket.
+var (
+	// ErrQuotaExceeded is returned by Session.MemAlloc when the allocation
+	// would push the session past its configured memory quota.
+	ErrQuotaExceeded = errors.New("mealibrt: session memory quota exceeded")
+	// ErrQueueFull is returned by Plan.Submit when the session already has
+	// MaxQueued submissions waiting for admission (backpressure: the caller
+	// should drain some flights before submitting more).
+	ErrQueueFull = errors.New("mealibrt: session submit queue full")
+	// ErrSessionClosed is returned by every session operation after Close.
+	ErrSessionClosed = errors.New("mealibrt: session closed")
+)

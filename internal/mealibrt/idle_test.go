@@ -1,6 +1,7 @@
 package mealibrt
 
 import (
+	"context"
 	"testing"
 
 	"mealib/internal/accel"
@@ -109,11 +110,11 @@ func TestSubmitOverlappedIdleEnergySplit(t *testing.T) {
 		t.Fatal(err)
 	}
 	pa, pb := loopAxpyPlan(t, rs, n, iters), loopAxpyPlan(t, rs, n, iters)
-	invA, err := pa.Execute()
+	invA, err := pa.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	invB, err := pb.Execute()
+	invB, err := pb.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,19 +134,19 @@ func TestSubmitOverlappedIdleEnergySplit(t *testing.T) {
 		t.Fatal(err)
 	}
 	qa, qb := loopAxpyPlan(t, ro, n, iters), loopAxpyPlan(t, ro, n, iters)
-	fa, err := qa.Submit()
+	fa, err := qa.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, err := qb.Submit()
+	fb, err := qb.Submit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ia, err := fa.Wait()
+	ia, err := fa.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ib, err := fb.Wait()
+	ib, err := fb.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

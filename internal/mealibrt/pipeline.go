@@ -1,0 +1,213 @@
+package mealibrt
+
+import (
+	"mealib/internal/accel"
+	"mealib/internal/analysis/tdlcheck"
+	"mealib/internal/phys"
+	"mealib/internal/units"
+)
+
+// Wave-granularity pipelining (Config.WavePipeline). Without it, a launch
+// that conflicts with an in-flight descriptor waits in admission until the
+// whole producer retires, even when the data it needs is written by the
+// producer's first wave. With it, conflicting launches are admitted
+// immediately and every flight carries a flightGate implementing
+// accel.WaveHooks: each of the consumer's waves blocks only until every
+// older conflicting flight has finished the last wave touching the
+// consumer wave's spans. A producer's tail waves therefore drain while the
+// consumer's head waves execute — the whole-launch serialization collapses
+// to a true wavefront pipeline, which is what keeps the tiles busy under a
+// loaded multi-tenant server.
+//
+// Correctness: a gate only ever waits on flights admitted before it
+// (admission-sequence order), so the wait graph is acyclic and deadlock-
+// free; a wave is released exactly when no earlier flight will touch its
+// spans again, so the bytes it reads are final and the bytes it writes
+// cannot be observed or overwritten by an earlier flight — memory effects
+// are identical to whole-launch serialization.
+//
+// Model time: physically the waves interleave on the wall clock, but the
+// model timeline must show the stalls. Each gate accumulates shift, the
+// total model time its waves spent waiting: when wave w may only start at
+// model time need but the flight's own timeline has reached
+// start+shift+elapsed, the difference joins shift. The flight's window on
+// the model timeline is [start, start+shift+Report.Time), which retire uses
+// for the clock frontier and idle-energy billing; Report.Time itself stays
+// pure device time.
+
+// flightGate gates one flight's waves behind its older conflicting flights.
+// All fields are guarded by the runtime's mu; blocking uses the runtime's
+// cond, which WaveDone, retire and finishFlight broadcast.
+type flightGate struct {
+	r  *Runtime
+	fl *flight
+	// olders are the gates of the conflicting flights that were in flight
+	// when this one was admitted. Gates outlive retirement, so a producer
+	// that drains before the consumer's wave asks still contributes its
+	// release time to the consumer's model-time shift.
+	olders []*flightGate
+	// waves is the per-wave footprint from Lowered: nil means the launch
+	// took the streaming fallback and releases nothing before it retires.
+	waves   [][]accel.WaveSpan
+	lowered bool
+	// done counts completed waves; doneAt[w] is the model time wave w
+	// completed at (start + shift + cumulative device time).
+	done   int
+	doneAt []units.Seconds
+	// shift is the accumulated model-time stall; elapsed is the device time
+	// through the last completed wave.
+	shift   units.Seconds
+	elapsed units.Seconds
+	// retired marks the flight done (or backed out); endAt is its model end.
+	retired bool
+	endAt   units.Seconds
+}
+
+// flightSpans converts a flight's verifier-level footprint to wave spans
+// (the conservative stand-in when a wave's own footprint is unresolvable).
+func flightSpans(fl *flight) []accel.WaveSpan {
+	out := make([]accel.WaveSpan, 0, len(fl.reads)+len(fl.writes))
+	for _, s := range fl.reads {
+		out = append(out, accel.WaveSpan{Addr: s.Addr, Bytes: s.Bytes})
+	}
+	for _, s := range fl.writes {
+		out = append(out, accel.WaveSpan{Addr: s.Addr, Bytes: s.Bytes, Write: true})
+	}
+	return out
+}
+
+// waveConflict reports whether two directional span sets carry a hazard:
+// any overlap where at least one side writes.
+func waveConflict(a, b []accel.WaveSpan) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if !x.Write && !y.Write {
+				continue
+			}
+			if x.Addr < y.Addr+phys.Addr(y.Bytes) && y.Addr < x.Addr+phys.Addr(x.Bytes) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Lowered records the launch's per-wave footprint (accel.WaveHooks).
+func (g *flightGate) Lowered(waves [][]accel.WaveSpan) {
+	g.r.mu.Lock()
+	g.lowered = true
+	g.waves = waves
+	n := len(waves)
+	if n == 0 {
+		n = 1 // streaming fallback executes as a single unresolvable wave 0
+	}
+	g.doneAt = make([]units.Seconds, n)
+	g.r.mu.Unlock()
+}
+
+// waveFootprintLocked returns wave w's directional spans, degrading to the
+// whole flight's footprint when the wave is unresolvable.
+func (g *flightGate) waveFootprintLocked(w int) []accel.WaveSpan {
+	if g.waves != nil && w < len(g.waves) && g.waves[w] != nil {
+		return g.waves[w]
+	}
+	return flightSpans(g.fl)
+}
+
+// releaseTimeLocked returns the model time at which og stops constraining
+// spans, or ok=false while og has conflicting waves still to run (the
+// caller must wait and re-ask). Called with mu held.
+func (og *flightGate) releaseTimeLocked(spans []accel.WaveSpan) (units.Seconds, bool) {
+	if !og.lowered || og.waves == nil {
+		// Schedule unknown (not lowered yet, or streaming fallback): the
+		// flight releases nothing before it ends.
+		if !waveConflict(spans, flightSpans(og.fl)) {
+			return 0, true
+		}
+		if og.retired {
+			return og.endAt, true
+		}
+		return 0, false
+	}
+	k := -1 // last wave of og whose footprint conflicts with spans
+	for i := len(og.waves) - 1; i >= 0; i-- {
+		ws := og.waves[i]
+		if ws == nil {
+			ws = flightSpans(og.fl)
+		}
+		if waveConflict(spans, ws) {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return 0, true
+	}
+	if og.done > k {
+		return og.doneAt[k], true
+	}
+	if og.retired {
+		// Failed or backed-out flight: nothing more will run.
+		return og.endAt, true
+	}
+	return 0, false
+}
+
+// WaveStart blocks wave w until every older conflicting flight has released
+// the wave's spans, then folds the wait into the flight's model-time shift
+// (accel.WaveHooks; called from the scheduler goroutine).
+func (g *flightGate) WaveStart(w int) {
+	if len(g.olders) == 0 {
+		return
+	}
+	r := g.r
+	r.mu.Lock()
+	spans := g.waveFootprintLocked(w)
+	var need units.Seconds
+	for _, og := range g.olders {
+		for {
+			t, ok := og.releaseTimeLocked(spans)
+			if ok {
+				if t > need {
+					need = t
+				}
+				break
+			}
+			r.cond.Wait()
+		}
+	}
+	if have := g.fl.start + g.shift + g.elapsed; need > have {
+		g.shift += need - have
+	}
+	r.mu.Unlock()
+}
+
+// WaveDone places wave w's completion on the model timeline and wakes
+// younger gates (accel.WaveHooks).
+func (g *flightGate) WaveDone(w int, elapsed units.Seconds) {
+	r := g.r
+	r.mu.Lock()
+	g.elapsed = elapsed
+	g.done = w + 1
+	if w < len(g.doneAt) {
+		g.doneAt[w] = g.fl.start + g.shift + elapsed
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+var _ accel.WaveHooks = (*flightGate)(nil)
+
+// olderWritesLocked collects the write spans of every other in-flight
+// flight, for the optimistic launch-time verification under pipelining: a
+// consumer admitted mid-producer reads spans the producer has not retired
+// into the initialized set yet, but is wave-gated until they are written.
+func (r *Runtime) olderWritesLocked(self *flight) []tdlcheck.Span {
+	var out []tdlcheck.Span
+	for _, fl := range r.inflight {
+		if fl != self {
+			out = append(out, fl.writes...)
+		}
+	}
+	return out
+}

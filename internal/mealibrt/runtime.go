@@ -12,6 +12,7 @@
 package mealibrt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -59,6 +60,16 @@ type Config struct {
 	// through Plan.Submit (0 = unlimited). Submissions past the cap block
 	// in admission until a flight completes.
 	MaxInFlight int
+	// WavePipeline admits conflicting descriptors immediately and gates
+	// them at wave granularity instead of serializing whole launches: a
+	// dependent launch's first waves start as the producer's last waves
+	// drain (pipeline.go). Results are bit-identical either way.
+	WavePipeline bool
+	// AdmitHook, when non-nil, is invoked with the tenant name at every
+	// admission, in admission order, with the runtime lock held. It must
+	// not call back into the runtime. Used by fairness tests and the
+	// mealibd batcher's observability; nil costs nothing.
+	AdmitHook func(tenant string)
 	// Tracer, when non-nil, records runtime execution spans (Submit,
 	// admission stalls, flights, Wait) and metrics, and propagates into
 	// the accelerator layer (launches, waves, nodes) unless the Accel
@@ -120,6 +131,13 @@ type Runtime struct {
 	// currently executing; Submit admits a new plan only when its spans
 	// do not conflict with them.
 	inflight []*flight
+	// waiters is the fair-admission queue (admit.go): blocked submissions
+	// in arrival order, admitted round-robin over tenants by the pump.
+	waiters    []*waiter
+	lastTenant string
+	// seq numbers flights in admission order; wave-pipelining gates only
+	// ever wait on lower-seq flights, keeping the wait graph acyclic.
+	seq uint64
 	// clock is the model-time frontier: flights start at the current
 	// frontier and push it forward as they retire.
 	clock units.Seconds
@@ -135,6 +153,13 @@ type flight struct {
 	writes []tdlcheck.Span
 	// start is the model time the flight was admitted at.
 	start units.Seconds
+	// seq is the admission sequence number.
+	seq uint64
+	// sess is the owning tenant (nil: the runtime's default tenant).
+	sess *Session
+	// gate pipelines the flight's waves behind conflicting older flights
+	// when Config.WavePipeline is set (nil otherwise).
+	gate *flightGate
 }
 
 // Stats aggregates invocation accounting across the runtime's lifetime
@@ -215,6 +240,11 @@ func (r *Runtime) Stats() Stats {
 // Link exposes the link controller (diagnostics and tests).
 func (r *Runtime) Link() *accel.LinkController { return &r.link }
 
+// Tracer exposes the runtime's telemetry tracer (nil when telemetry is
+// disabled), so front ends like mealibd can report per-tenant metrics from
+// the same registry the runtime feeds.
+func (r *Runtime) Tracer() *telemetry.Tracer { return r.tr }
+
 // hostAccess guards host-side buffer accesses: while the accelerators own
 // the DRAM, the link controller blocks the CPU (paper §2.1).
 func (r *Runtime) hostAccess() error {
@@ -231,6 +261,10 @@ type Buffer struct {
 	va   vm.VAddr
 	pa   phys.Addr
 	size units.Bytes
+	// sess is the owning tenant session, nil for runtime-level buffers.
+	// Session buffers trade the legacy fail-fast link-controller semantics
+	// for blocking span-conflict waits (session.go).
+	sess *Session
 }
 
 // VA returns the buffer's host virtual address.
@@ -299,6 +333,11 @@ func (r *Runtime) noteWrite(s tdlcheck.Span) {
 
 // StoreFloat32s writes v at byte offset off through the host mapping.
 func (b *Buffer) StoreFloat32s(off units.Bytes, v []float32) error {
+	if b.sess != nil {
+		return b.hostOp(off, units.Bytes(4*len(v)), true, func() error {
+			return b.rt.space.StoreFloat32s(b.pa+phys.Addr(off), v)
+		})
+	}
 	if err := b.rt.hostAccess(); err != nil {
 		return err
 	}
@@ -308,6 +347,14 @@ func (b *Buffer) StoreFloat32s(off units.Bytes, v []float32) error {
 
 // LoadFloat32s reads n float32 values at byte offset off.
 func (b *Buffer) LoadFloat32s(off units.Bytes, n int) ([]float32, error) {
+	if b.sess != nil {
+		var out []float32
+		err := b.hostOp(off, units.Bytes(4*n), false, func() (e error) {
+			out, e = b.rt.space.LoadFloat32s(b.pa+phys.Addr(off), n)
+			return
+		})
+		return out, err
+	}
 	if err := b.rt.hostAccess(); err != nil {
 		return nil, err
 	}
@@ -316,6 +363,11 @@ func (b *Buffer) LoadFloat32s(off units.Bytes, n int) ([]float32, error) {
 
 // StoreComplex64s writes v at byte offset off.
 func (b *Buffer) StoreComplex64s(off units.Bytes, v []complex64) error {
+	if b.sess != nil {
+		return b.hostOp(off, units.Bytes(8*len(v)), true, func() error {
+			return b.rt.space.StoreComplex64s(b.pa+phys.Addr(off), v)
+		})
+	}
 	if err := b.rt.hostAccess(); err != nil {
 		return err
 	}
@@ -325,6 +377,14 @@ func (b *Buffer) StoreComplex64s(off units.Bytes, v []complex64) error {
 
 // LoadComplex64s reads n complex64 values at byte offset off.
 func (b *Buffer) LoadComplex64s(off units.Bytes, n int) ([]complex64, error) {
+	if b.sess != nil {
+		var out []complex64
+		err := b.hostOp(off, units.Bytes(8*n), false, func() (e error) {
+			out, e = b.rt.space.LoadComplex64s(b.pa+phys.Addr(off), n)
+			return
+		})
+		return out, err
+	}
 	if err := b.rt.hostAccess(); err != nil {
 		return nil, err
 	}
@@ -333,6 +393,11 @@ func (b *Buffer) LoadComplex64s(off units.Bytes, n int) ([]complex64, error) {
 
 // StoreInt32s writes v at byte offset off.
 func (b *Buffer) StoreInt32s(off units.Bytes, v []int32) error {
+	if b.sess != nil {
+		return b.hostOp(off, units.Bytes(4*len(v)), true, func() error {
+			return b.rt.space.StoreInt32s(b.pa+phys.Addr(off), v)
+		})
+	}
 	if err := b.rt.hostAccess(); err != nil {
 		return err
 	}
@@ -342,26 +407,18 @@ func (b *Buffer) StoreInt32s(off units.Bytes, v []int32) error {
 
 // LoadInt32s reads n int32 values at byte offset off.
 func (b *Buffer) LoadInt32s(off units.Bytes, n int) ([]int32, error) {
+	if b.sess != nil {
+		var out []int32
+		err := b.hostOp(off, units.Bytes(4*n), false, func() (e error) {
+			out, e = b.rt.space.LoadInt32s(b.pa+phys.Addr(off), n)
+			return
+		})
+		return out, err
+	}
 	if err := b.rt.hostAccess(); err != nil {
 		return nil, err
 	}
 	return b.rt.space.LoadInt32s(b.pa+phys.Addr(off), n)
-}
-
-// WriteInt32s writes v at byte offset off.
-//
-// Deprecated: use StoreInt32s, which matches the Store/Load naming of the
-// other element accessors.
-func (b *Buffer) WriteInt32s(off units.Bytes, v []int32) error {
-	return b.StoreInt32s(off, v)
-}
-
-// ReadInt32s reads n int32 values at byte offset off.
-//
-// Deprecated: use LoadInt32s, which matches the Store/Load naming of the
-// other element accessors.
-func (b *Buffer) ReadInt32s(off units.Bytes, n int) ([]int32, error) {
-	return b.LoadInt32s(off, n)
 }
 
 // Plan is a reusable accelerator descriptor (mealib_acc_plan's acc_plan).
@@ -376,6 +433,8 @@ type Plan struct {
 	// reads are the spans the task graph consumes; together with writes
 	// they drive Submit's conflict admission against in-flight descriptors.
 	reads []tdlcheck.Span
+	// sess is the owning tenant session, nil for runtime-level plans.
+	sess *Session
 }
 
 // AccPlan compiles a TDL program against the parameter table and encodes
@@ -385,6 +444,10 @@ type Plan struct {
 // and malformed task graphs are rejected here, with TDL line numbers,
 // instead of failing deep inside the accelerator layer.
 func (r *Runtime) AccPlan(tdlSrc string, params map[string]descriptor.Params) (*Plan, error) {
+	return r.accPlanCommon(tdlSrc, params, nil)
+}
+
+func (r *Runtime) accPlanCommon(tdlSrc string, params map[string]descriptor.Params, sess *Session) (*Plan, error) {
 	prog, err := tdl.Parse(tdlSrc)
 	if err != nil {
 		return nil, err
@@ -414,20 +477,29 @@ func (r *Runtime) AccPlan(tdlSrc string, params map[string]descriptor.Params) (*
 	if err != nil {
 		return nil, err
 	}
-	return r.AccPlanDescriptor(d)
+	return r.accPlanDescriptor(d, sess)
 }
 
 // AccPlanDescriptor installs an already-built descriptor (the path the Go
 // public API uses). Unless Config.NoVerify is set, the descriptor is run
 // through the static verifier first.
 func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
+	return r.accPlanDescriptor(d, nil)
+}
+
+func (r *Runtime) accPlanDescriptor(d *descriptor.Descriptor, sess *Session) (*Plan, error) {
 	if d == nil {
 		return nil, fmt.Errorf("mealibrt: nil descriptor")
 	}
-	// Planning maps a command-space region and encodes the descriptor into
-	// it: host-side DRAM work that must wait for link ownership.
-	if err := r.hostAccess(); err != nil {
-		return nil, err
+	if sess == nil {
+		// Planning maps a command-space region and encodes the descriptor
+		// into it: host-side DRAM work that, on the legacy single-tenant
+		// path, must wait for link ownership. Session planning instead
+		// relies on the space's region-table lock — a tenant may plan while
+		// another tenant's flight executes.
+		if err := r.hostAccess(); err != nil {
+			return nil, err
+		}
 	}
 	if !r.cfg.NoVerify {
 		if err := tdlcheck.VerifyDescriptor(d); err != nil {
@@ -437,6 +509,19 @@ func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	writes, err := tdlcheck.Writes(d)
+	if err != nil {
+		return nil, err
+	}
+	reads, err := tdlcheck.Reads(d)
+	if err != nil {
+		return nil, err
+	}
+	if sess != nil {
+		if err := sess.checkNamespace(writes, reads); err != nil {
+			return nil, err
+		}
+	}
 	va, pa, err := r.driver.AllocCommand(d.Size())
 	if err != nil {
 		return nil, err
@@ -445,21 +530,22 @@ func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
 		_ = r.driver.Free(va)
 		return nil, err
 	}
-	writes, err := tdlcheck.Writes(d)
-	if err != nil {
-		_ = r.driver.Free(va)
-		return nil, err
+	p := &Plan{rt: r, desc: d, baseVA: va, basePA: pa, writes: writes, reads: reads, sess: sess}
+	if sess != nil {
+		r.mu.Lock()
+		sess.plans[p] = struct{}{}
+		r.mu.Unlock()
 	}
-	reads, err := tdlcheck.Reads(d)
-	if err != nil {
-		_ = r.driver.Free(va)
-		return nil, err
-	}
-	return &Plan{rt: r, desc: d, baseVA: va, basePA: pa, writes: writes, reads: reads}, nil
+	return p, nil
 }
 
 // Descriptor returns the plan's descriptor.
 func (p *Plan) Descriptor() *descriptor.Descriptor { return p.desc }
+
+// Footprint returns the verifier-derived span sets the plan's task graph
+// writes and reads — what admission checks against in-flight descriptors.
+// Callers must not mutate the returned slices.
+func (p *Plan) Footprint() (writes, reads []tdlcheck.Span) { return p.writes, p.reads }
 
 // Invocation is the outcome of one AccExecute.
 type Invocation struct {
@@ -507,18 +593,25 @@ type PendingInvocation struct {
 }
 
 // Wait blocks until the submitted descriptor completes and returns the
-// invocation outcome. Wait may be called at most once per Submit from any
-// goroutine; further calls return the same result.
-func (pi *PendingInvocation) Wait() (*Invocation, error) {
+// invocation outcome, or until the context ends. A context cancellation
+// abandons the wait only — the flight itself runs to completion (the
+// simulated hardware cannot be preempted mid-descriptor), and a later Wait
+// call can still collect the result.
+func (pi *PendingInvocation) Wait(ctx context.Context) (*Invocation, error) {
 	tb := pi.tr.Buffer(telemetry.TrackRuntime)
+	defer tb.Release()
 	tb.Begin(telemetry.SpanWait, "wait")
-	<-pi.done
+	select {
+	case <-pi.done:
+	case <-ctx.Done():
+		tb.End(telemetry.SpanWait, 0)
+		return nil, ctx.Err()
+	}
 	var model units.Seconds
 	if pi.inv != nil {
 		model = pi.inv.Report.Time
 	}
 	tb.End(telemetry.SpanWait, model)
-	tb.Release()
 	return pi.inv, pi.err
 }
 
@@ -526,33 +619,93 @@ func (pi *PendingInvocation) Wait() (*Invocation, error) {
 // without the wait. Admission is dependence-aware — the plan's read/write
 // spans are checked against every in-flight descriptor, and Submit blocks
 // until no write-write, write-read or read-write overlap remains (and the
-// MaxInFlight cap, if set, has room). Admitted flights touch pairwise
-// disjoint data, so they run concurrently without changing any result.
-func (p *Plan) Submit() (*PendingInvocation, error) {
+// global and per-session MaxInFlight caps, if set, have room). Blocked
+// submissions queue and are admitted round-robin over tenants (admit.go);
+// with Config.WavePipeline the span conflicts do not block admission at all
+// and are enforced at wave granularity instead (pipeline.go). The context
+// bounds only the admission wait: once admitted, the launch proceeds.
+func (p *Plan) Submit(ctx context.Context) (*PendingInvocation, error) {
 	r := p.rt
 	if p.baseVA == 0 {
 		return nil, fmt.Errorf("mealibrt: plan already destroyed")
 	}
+	s := p.sess
 	tb := r.tr.Buffer(telemetry.TrackRuntime)
 	defer tb.Release()
 	tb.Begin(telemetry.SpanSubmit, "submit")
 	r.mu.Lock()
-	if r.blockedLocked(p) {
+	if s != nil && s.closed {
+		r.mu.Unlock()
+		tb.End(telemetry.SpanSubmit, 0)
+		return nil, ErrSessionClosed
+	}
+	var fl *flight
+	if r.admitNowLocked(p) {
+		fl = r.registerFlightLocked(p)
+	} else {
 		// The admission span covers only actual stalls, so an uncontended
 		// Submit shows a single submit span in the trace.
+		if s != nil && s.cfg.MaxQueued > 0 && s.queued >= s.cfg.MaxQueued {
+			s.stats.QueueFull++
+			s.mQueueFull.Add(1)
+			queued := s.queued
+			r.mu.Unlock()
+			tb.End(telemetry.SpanSubmit, 0)
+			return nil, fmt.Errorf("%w: %d submissions already queued", ErrQueueFull, queued)
+		}
+		w := r.enqueueLocked(p)
+		if s != nil {
+			s.queued++
+			s.stats.Stalls++
+			s.mStalls.Add(1)
+		}
 		r.mStalls.Add(1)
 		tb.Begin(telemetry.SpanAdmission, "admission")
-		for r.blockedLocked(p) {
-			r.cond.Wait()
+		r.mu.Unlock()
+		select {
+		case <-w.ready:
+			r.mu.Lock()
+		case <-ctx.Done():
+			r.mu.Lock()
+			if s != nil {
+				s.queued--
+			}
+			if !w.admitted {
+				r.dequeueLocked(w)
+				r.mu.Unlock()
+				tb.End2(telemetry.SpanAdmission, 0,
+					telemetry.Arg{Key: "cancelled", Val: int64(1)}, telemetry.Arg{})
+				tb.End(telemetry.SpanSubmit, 0)
+				return nil, ctx.Err()
+			}
+			// Admission raced the cancellation: back the flight out.
+			r.unregisterFlightLocked(w.fl)
+			r.mu.Unlock()
+			tb.End2(telemetry.SpanAdmission, 0,
+				telemetry.Arg{Key: "cancelled", Val: int64(1)}, telemetry.Arg{})
+			tb.End(telemetry.SpanSubmit, 0)
+			return nil, ctx.Err()
 		}
+		if s != nil {
+			s.queued--
+		}
+		fl = w.fl
 		tb.End2(telemetry.SpanAdmission, 0,
 			telemetry.Arg{Key: "inflight", Val: int64(len(r.inflight))}, telemetry.Arg{})
 	}
-	// Launch-time verification: admission has drained every in-flight
-	// writer overlapping this plan's reads, so the initialized set is
-	// complete for the read-before-write check.
+	// Launch-time verification: without pipelining, admission has drained
+	// every in-flight writer overlapping this plan's reads, so the
+	// initialized set is complete for the read-before-write check. With
+	// pipelining the producers may still be in flight; their declared
+	// writes are counted as initialized optimistically — the wave gate
+	// guarantees they land before any gated wave reads them.
 	if !r.cfg.NoVerify {
-		if err := tdlcheck.VerifyDescriptor(p.desc, tdlcheck.WithInitialized(r.initialized.all()...)); err != nil {
+		init := append([]tdlcheck.Span(nil), r.initialized.all()...)
+		if r.cfg.WavePipeline {
+			init = append(init, r.olderWritesLocked(fl)...)
+		}
+		if err := tdlcheck.VerifyDescriptor(p.desc, tdlcheck.WithInitialized(init...)); err != nil {
+			r.unregisterFlightLocked(fl)
 			r.mu.Unlock()
 			tb.End(telemetry.SpanSubmit, 0)
 			return nil, fmt.Errorf("mealibrt: launch rejected by the static verifier: %w", err)
@@ -563,25 +716,28 @@ func (p *Plan) Submit() (*PendingInvocation, error) {
 		dirty = llc
 	}
 	r.dirty = 0
-	// The flight occupies the model-time window [clock, clock+Report.Time):
-	// concurrent flights are admitted at the same frontier precisely
-	// because the hardware runs them concurrently.
-	fl := &flight{reads: p.reads, writes: p.writes, start: r.clock}
-	r.inflight = append(r.inflight, fl)
-	r.mInflight.Set(int64(len(r.inflight)))
+	// Ownership of the DRAM passes to the accelerators for the duration of
+	// the flight (paper §2.1): the first flight blocks host accesses, the
+	// last completion hands ownership back. Acquiring inside the admission
+	// critical section closes the window where a host accessor could slip
+	// between the flight registration and the ownership transfer.
+	r.link.AcquireShared()
+	r.mSubmits.Add(1)
+	if s != nil {
+		s.stats.Submits++
+		s.mSubmits.Add(1)
+	}
 	r.mu.Unlock()
 
 	ovT, ovE := InvocationOverhead(r.cfg.Host, r.cfg.DescriptorSetupLatency, p.desc.Size(), dirty)
 	if err := descriptor.WriteCommand(r.space, p.basePA, descriptor.CmdStart); err != nil {
+		if relErr := r.link.ReleaseShared(); relErr != nil {
+			err = fmt.Errorf("%w (and link release failed: %v)", err, relErr)
+		}
 		r.finishFlight(fl)
 		tb.End(telemetry.SpanSubmit, 0)
 		return nil, err
 	}
-	// Ownership of the DRAM passes to the accelerators for the duration of
-	// the flight (paper §2.1): the first flight blocks host accesses, the
-	// last completion hands ownership back.
-	r.link.AcquireShared()
-	r.mSubmits.Add(1)
 	tb.Instant(telemetry.SpanSubmit, "doorbell")
 	pi := &PendingInvocation{done: make(chan struct{}), tr: r.tr}
 	go func() {
@@ -589,7 +745,13 @@ func (p *Plan) Submit() (*PendingInvocation, error) {
 		fb := r.tr.Buffer(telemetry.TrackRuntime)
 		defer fb.Release()
 		fb.Begin(telemetry.SpanFlight, "flight")
-		rep, err := r.layer.Run(r.space, p.basePA)
+		var rep *accel.Report
+		var err error
+		if fl.gate != nil {
+			rep, err = r.layer.RunHooked(r.space, p.basePA, fl.gate)
+		} else {
+			rep, err = r.layer.Run(r.space, p.basePA)
+		}
 		if relErr := r.link.ReleaseShared(); relErr != nil && err == nil {
 			err = relErr
 		}
@@ -613,35 +775,6 @@ func (p *Plan) Submit() (*PendingInvocation, error) {
 	return pi, nil
 }
 
-// blockedLocked reports whether the plan must wait for admission: the
-// MaxInFlight cap is full, or its spans conflict with an in-flight
-// descriptor (its writes against their reads and writes, its reads against
-// their writes). Called with mu held.
-func (r *Runtime) blockedLocked(p *Plan) bool {
-	if r.cfg.MaxInFlight > 0 && len(r.inflight) >= r.cfg.MaxInFlight {
-		return true
-	}
-	for _, fl := range r.inflight {
-		if spansOverlap(p.writes, fl.writes) ||
-			spansOverlap(p.writes, fl.reads) ||
-			spansOverlap(p.reads, fl.writes) {
-			return true
-		}
-	}
-	return false
-}
-
-func spansOverlap(a, b []tdlcheck.Span) bool {
-	for _, x := range a {
-		for _, y := range b {
-			if x.Overlaps(y) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // retire completes a successful flight: the descriptor's writes become live
 // data for subsequent launches, the accounting lands in Stats, and
 // admission waiters are woken. The returned energy is the host-idle bill
@@ -655,6 +788,14 @@ func (r *Runtime) retire(fl *flight, writes []tdlcheck.Span, rep *accel.Report, 
 		r.initialized.add(s)
 	}
 	end := fl.start + rep.Time
+	if fl.gate != nil {
+		// The flight's waves stalled behind older conflicting flights for
+		// gate.shift of model time: its window on the model timeline is
+		// that much longer than its pure device time.
+		fl.gate.retired = true
+		fl.gate.endAt = fl.start + fl.gate.shift + rep.Time
+		end = fl.gate.endAt
+	}
 	newIdle := r.billedIdle.add(fl.start, end)
 	if end > r.clock {
 		r.clock = end
@@ -666,9 +807,18 @@ func (r *Runtime) retire(fl *flight, writes []tdlcheck.Span, rep *accel.Report, 
 	r.stats.AccelTime += rep.Time
 	r.stats.AccelEnergy += rep.Energy
 	r.stats.HostIdleEnergy += idleE
+	if s := fl.sess; s != nil {
+		s.inflight--
+		s.gInflight.Set(int64(s.inflight))
+		s.stats.Invocations++
+		s.stats.AccelTime += rep.Time
+		s.stats.BytesMoved += rep.NoCBytes
+		s.stats.BytesElided += rep.ElidedBytes
+	}
 	r.removeFlightLocked(fl)
 	r.mInflight.Set(int64(len(r.inflight)))
 	r.cond.Broadcast()
+	r.pumpLocked()
 	return idleE
 }
 
@@ -676,9 +826,7 @@ func (r *Runtime) retire(fl *flight, writes []tdlcheck.Span, rep *accel.Report, 
 func (r *Runtime) finishFlight(fl *flight) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.removeFlightLocked(fl)
-	r.mInflight.Set(int64(len(r.inflight)))
-	r.cond.Broadcast()
+	r.unregisterFlightLocked(fl)
 }
 
 // removeFlightLocked drops fl from the in-flight registry. Called with mu
@@ -695,12 +843,20 @@ func (r *Runtime) removeFlightLocked(fl *flight) {
 // AccExecute launches the plan and waits for it (mealib_acc_execute):
 // flush, doorbell, run, and account. The same plan can be executed
 // repeatedly. Execute is exactly Submit followed by Wait.
-func (p *Plan) Execute() (*Invocation, error) {
-	pi, err := p.Submit()
+func (p *Plan) Execute(ctx context.Context) (*Invocation, error) {
+	pi, err := p.Submit(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return pi.Wait()
+	return pi.Wait(ctx)
+}
+
+// ModelTime returns the model-time frontier: the end of the latest retired
+// flight's window on the model timeline.
+func (r *Runtime) ModelTime() units.Seconds {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock
 }
 
 // Destroy releases the plan's command-space allocation
@@ -709,7 +865,11 @@ func (p *Plan) Destroy() error {
 	if p.baseVA == 0 {
 		return fmt.Errorf("mealibrt: plan already destroyed")
 	}
-	if err := p.rt.hostAccess(); err != nil {
+	if p.sess != nil {
+		p.rt.mu.Lock()
+		delete(p.sess.plans, p)
+		p.rt.mu.Unlock()
+	} else if err := p.rt.hostAccess(); err != nil {
 		return err
 	}
 	err := p.rt.driver.Free(p.baseVA)

@@ -1,6 +1,7 @@
 package mealibrt
 
 import (
+	"context"
 	"testing"
 
 	"mealib/internal/accel"
@@ -98,7 +99,7 @@ func TestAccPlanExecuteDestroy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inv, err := plan.Execute()
+	inv, err := plan.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestAccPlanFromTDL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.Execute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := buf.LoadComplex64s(0, n)
@@ -187,7 +188,7 @@ func TestPlanReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 3; k++ {
-		if _, err := plan.Execute(); err != nil {
+		if _, err := plan.Execute(context.Background()); err != nil {
 			t.Fatalf("execution %d: %v", k, err)
 		}
 	}
@@ -215,12 +216,12 @@ func TestDirtyTrackingLowersSecondFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := plan.Execute()
+	first, err := plan.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// No host writes since: second flush drains nothing.
-	second, err := plan.Execute()
+	second, err := plan.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestLinkOwnershipReturnsAfterExecute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.Execute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !r.Link().HostMayAccess() {
@@ -317,13 +318,6 @@ func TestRuntimeAccessors(t *testing.T) {
 	got, err := b.LoadInt32s(0, 3)
 	if err != nil || got[1] != -2 {
 		t.Errorf("int32 round trip: %v, %v", got, err)
-	}
-	// The deprecated Write/Read aliases must keep forwarding.
-	if err := b.WriteInt32s(12, []int32{7}); err != nil {
-		t.Fatal(err)
-	}
-	if alias, err := b.ReadInt32s(12, 1); err != nil || alias[0] != 7 {
-		t.Errorf("deprecated alias round trip: %v, %v", alias, err)
 	}
 	c, err := b.LoadComplex64s(0, 1)
 	if err != nil || len(c) != 1 {

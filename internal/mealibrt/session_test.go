@@ -1,0 +1,554 @@
+package mealibrt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/units"
+)
+
+// sessAxpyPlan is axpyPlan through a session: quota-accounted buffers and a
+// namespace-checked descriptor.
+func sessAxpyPlan(t *testing.T, s *Session, alpha float32, n int) (*Plan, *Buffer, *Buffer) {
+	t.Helper()
+	x, err := s.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := s.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i % 7)
+		ys[i] = 1
+	}
+	if err := x.StoreFloat32s(0, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, ys); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: int64(n), Alpha: alpha, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	p, err := s.AccPlanDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, x, y
+}
+
+func TestSessionQuota(t *testing.T) {
+	r := newRuntime(t)
+	s, err := r.NewSession(SessionConfig{Name: "tenant-a", MemQuota: 1 * units.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := s.MemAlloc(768 * units.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 768 KiB + 512 KiB > 1 MiB: the quota must refuse with the typed error.
+	if _, err := s.MemAlloc(512 * units.KiB); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota alloc: got %v, want ErrQuotaExceeded", err)
+	}
+	st := s.Stats()
+	if st.QuotaDenied != 1 {
+		t.Errorf("QuotaDenied = %d, want 1", st.QuotaDenied)
+	}
+	if st.MemUsed != 768*units.KiB {
+		t.Errorf("MemUsed = %d, want %d (the denied alloc must not leak quota)", st.MemUsed, 768*units.KiB)
+	}
+	// Freeing returns the quota.
+	if err := s.MemFree(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.MemAlloc(1 * units.MiB)
+	if err != nil {
+		t.Fatalf("alloc after free must fit the quota again: %v", err)
+	}
+	if err := s.MemFree(b2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().MemUsed; got != 0 {
+		t.Errorf("MemUsed after frees = %d, want 0", got)
+	}
+}
+
+func TestSessionNamespace(t *testing.T) {
+	r := newRuntime(t)
+	s, err := r.NewSession(SessionConfig{Name: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	// A runtime-level buffer is outside every session's namespace.
+	foreign, err := r.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := foreign.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	own, err := s.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := own.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: n, Alpha: 1, X: own.PA(), Y: foreign.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	if _, err := s.AccPlanDescriptor(d); err == nil {
+		t.Fatal("a descriptor writing another tenant's memory must be rejected")
+	}
+	// The same shape entirely inside the session passes.
+	p, _, y := sessAxpyPlan(t, s, 2, n)
+	if _, err := p.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkAxpy(t, y, 2, n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MemAlloc(4 * units.KiB); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("alloc on closed session: got %v, want ErrSessionClosed", err)
+	}
+}
+
+// slowAxpyPlan builds a hardware-loop AXPY big enough to stay in flight for
+// a while (wall-clock), so tests can observe the runtime mid-flight.
+func slowAxpyPlan(t *testing.T, r *Runtime, n, iters int) (*Plan, *Buffer, *Buffer) {
+	t.Helper()
+	x, err := r.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := r.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddLoop(uint32(iters)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: int64(n), Alpha: 1, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	d.AddEndLoop()
+	p, err := r.AccPlanDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, x, y
+}
+
+// waitUntil polls cond every millisecond until it holds or ~10s of polling
+// elapse. A bounded attempt count keeps wall-clock reads out of the
+// deterministic simulator packages.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for attempt := 0; attempt < 10000; attempt++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSessionBackpressure(t *testing.T) {
+	r := newRuntime(t)
+	s, err := r.NewSession(SessionConfig{Name: "tenant-a", MaxInFlight: 1, MaxQueued: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 12
+	p1, _, y1 := sessAxpyPlan(t, s, 2, n)
+	p2, _, y2 := sessAxpyPlan(t, s, 3, n)
+	p3, _, _ := sessAxpyPlan(t, s, 4, n)
+
+	// A slow looped AXPY (alpha=0: data unchanged) over its own session
+	// buffers holds the session's single in-flight slot while p2 queues
+	// behind the cap — p1..p3 use disjoint buffers, so the only conflict is
+	// MaxInFlight itself.
+	xs, err := s.MemAlloc(units.Bytes(4 << 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, err := s.MemAlloc(units.Bytes(4 << 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xs.StoreFloat32s(0, make([]float32, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ys.StoreFloat32s(0, make([]float32, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddLoop(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: 1 << 16, Alpha: 0, X: xs.PA(), Y: ys.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	d.AddEndLoop()
+	pSlow, err := s.AccPlanDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fSlow, err := pSlow.Submit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p2 queues behind the session cap.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var f2 *PendingInvocation
+	var err2 error
+	go func() {
+		defer wg.Done()
+		f2, err2 = p2.Submit(context.Background())
+	}()
+	waitUntil(t, "p2 to queue", func() bool { return s.Stats().Queued == 1 })
+	// MaxQueued=1 is full: the third submission fails fast with the typed
+	// error instead of deepening the backlog.
+	if _, err := p3.Submit(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-queue submit: got %v, want ErrQueueFull", err)
+	}
+	if got := s.Stats().QueueFull; got != 1 {
+		t.Errorf("QueueFull = %d, want 1", got)
+	}
+	if _, err := fSlow.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if _, err := f2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// With the queue drained, the session accepts work again.
+	if _, err := p1.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkAxpy(t, y1, 2, n)
+	checkAxpy(t, y2, 3, n)
+	st := s.Stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Errorf("Inflight/Queued = %d/%d, want 0/0", st.Inflight, st.Queued)
+	}
+	if st.Invocations != 3 {
+		t.Errorf("Invocations = %d, want 3", st.Invocations)
+	}
+}
+
+// A context cancellation must free a submission stuck in admission — and only
+// abandon the wait, never the flight, when it fires during Wait.
+func TestSubmitContextCancellation(t *testing.T) {
+	r := newRuntime(t)
+	const n = 1 << 12
+	s, err := r.NewSession(SessionConfig{Name: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow flight over x,y...
+	x, err := s.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := s.MemAlloc(units.Bytes(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i % 7)
+		ys[i] = 1
+	}
+	if err := x.StoreFloat32s(0, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, ys); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(alpha float32, iters int) *Plan {
+		t.Helper()
+		d := &descriptor.Descriptor{}
+		if iters > 1 {
+			if err := d.AddLoop(uint32(iters)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+			N: int64(n), Alpha: alpha, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+		}.Params()); err != nil {
+			t.Fatal(err)
+		}
+		d.AddEndPass()
+		if iters > 1 {
+			d.AddEndLoop()
+		}
+		p, err := s.AccPlanDescriptor(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pSlow := mk(0, 1<<13) // alpha=0: y unchanged, but conflicts on y
+	pFast := mk(2, 1)
+
+	fSlow, err := pSlow.Submit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...blocks a conflicting submission in admission; cancelling the context
+	// must release it with ctx.Err, not leave a zombie waiter.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := pFast.Submit(ctx)
+		done <- err
+	}()
+	waitUntil(t, "pFast to queue", func() bool { return s.Stats().Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Submit: got %v, want context.Canceled", err)
+	}
+	if got := s.Stats().Queued; got != 0 {
+		t.Errorf("Queued after cancellation = %d, want 0 (no zombie waiter)", got)
+	}
+
+	// Wait under an already-cancelled context abandons the wait only: a later
+	// Wait still collects the flight.
+	cancelled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := fSlow.Wait(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Wait: got %v, want context.Canceled", err)
+	}
+	if _, err := fSlow.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled submission never launched; resubmitting works and the
+	// data is exactly one fast AXPY on top of the (alpha=0) slow flight.
+	if _, err := pFast.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkAxpy(t, y, 2, n)
+	if got := r.Stats().Invocations; got != 2 {
+		t.Errorf("Invocations = %d, want 2 (the cancelled submit must not launch)", got)
+	}
+}
+
+// Two tenants hammering a MaxInFlight=1 runtime must be admitted round-robin:
+// once both streams are queued, admissions strictly alternate instead of one
+// tenant's burst winning every wakeup race.
+func TestAdmissionFairness(t *testing.T) {
+	const perTenant = 6
+	var mu sync.Mutex
+	var order []string
+	cfg := DefaultConfig()
+	cfg.MaxInFlight = 1
+	cfg.AdmitHook = func(tenant string) {
+		mu.Lock()
+		order = append(order, tenant)
+		mu.Unlock()
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := r.NewSession(SessionConfig{Name: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.NewSession(SessionConfig{Name: "tenant-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blocker: a long default-tenant flight holding the single in-flight
+	// slot while both tenants queue their whole streams.
+	blocker, _, _ := slowAxpyPlan(t, r, 1<<16, 1<<11)
+	fb, err := blocker.Submit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 10
+	var wg sync.WaitGroup
+	submit := func(s *Session) {
+		t.Helper()
+		p, _, _ := sessAxpyPlan(t, s, 1, n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pi, err := p.Submit(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := pi.Wait(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for i := 0; i < perTenant; i++ {
+		submit(sa)
+		submit(sb)
+	}
+	waitUntil(t, "both streams to queue", func() bool {
+		return sa.Stats().Queued == perTenant && sb.Stats().Queued == perTenant
+	})
+	if _, err := fb.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 1+2*perTenant {
+		t.Fatalf("admissions = %d, want %d", len(order), 1+2*perTenant)
+	}
+	if order[0] != defaultTenant {
+		t.Fatalf("order[0] = %q, want the blocker's %q", order[0], defaultTenant)
+	}
+	counts := map[string]int{}
+	for i := 1; i < len(order); i++ {
+		counts[order[i]]++
+		if i >= 2 && order[i] == order[i-1] {
+			t.Fatalf("admissions %d and %d both went to %q: %v", i-1, i, order[i], order[1:])
+		}
+	}
+	if counts["tenant-a"] != perTenant || counts["tenant-b"] != perTenant {
+		t.Fatalf("per-tenant admissions = %v, want %d each", counts, perTenant)
+	}
+}
+
+// Wave pipelining must beat whole-launch serialization on the model timeline
+// for a producer→consumer pair where the consumer needs only the producer's
+// first wave — and produce bit-identical data. This pins the scheduler's
+// overlap: if gating regresses to whole-launch granularity the two model
+// times become equal and the test fails.
+func TestWavePipeliningOverlap(t *testing.T) {
+	run := func(pipeline bool) (units.Seconds, []float32) {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.NoFusion = true // keep the two producer passes as two waves
+		cfg.WavePipeline = pipeline
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 1 << 22
+		alloc := func() *Buffer {
+			b, err := r.MemAlloc(units.Bytes(4 * n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := make([]float32, n)
+			for i := range vs {
+				vs[i] = float32(i%13) / 4
+			}
+			if err := b.StoreFloat32s(0, vs); err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		a, b, c, dd := alloc(), alloc(), alloc(), alloc()
+		// Producer: wave 0 writes B (reads A,B), wave 1 reads B, writes C.
+		prod := &descriptor.Descriptor{}
+		if err := prod.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+			N: n, Alpha: 2, X: a.PA(), Y: b.PA(), IncX: 1, IncY: 1,
+		}.Params()); err != nil {
+			t.Fatal(err)
+		}
+		prod.AddEndPass()
+		if err := prod.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+			N: n, Alpha: 3, X: b.PA(), Y: c.PA(), IncX: 1, IncY: 1,
+		}.Params()); err != nil {
+			t.Fatal(err)
+		}
+		prod.AddEndPass()
+		pProd, err := r.AccPlanDescriptor(prod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Consumer: reads B (final after the producer's wave 0), writes D.
+		cons := &descriptor.Descriptor{}
+		if err := cons.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+			N: n, Alpha: 5, X: b.PA(), Y: dd.PA(), IncX: 1, IncY: 1,
+		}.Params()); err != nil {
+			t.Fatal(err)
+		}
+		cons.AddEndPass()
+		pCons, err := r.AccPlanDescriptor(cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := pProd.Submit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := pCons.Submit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fp.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fc.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		// Sample the outputs (C depends on wave-0 B, D on the gated read).
+		cd, err := c.LoadFloat32s(0, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := dd.LoadFloat32s(0, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ModelTime(), append(cd, dv...)
+	}
+	serialT, serialData := run(false)
+	pipeT, pipeData := run(true)
+	for i := range serialData {
+		if serialData[i] != pipeData[i] {
+			t.Fatalf("data[%d]: serial %v != pipelined %v", i, serialData[i], pipeData[i])
+		}
+	}
+	if pipeT >= serialT {
+		t.Fatalf("pipelined model time %v must beat whole-launch serialization %v", pipeT, serialT)
+	}
+}

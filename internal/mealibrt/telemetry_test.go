@@ -1,6 +1,7 @@
 package mealibrt
 
 import (
+	"context"
 	"testing"
 
 	"mealib/internal/accel"
@@ -55,7 +56,7 @@ func benchmarkExecute(b *testing.B, tr *telemetry.Tracer) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Execute(); err != nil {
+		if _, err := p.Execute(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package mealibrt
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestExecuteRejectsUninitializedRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = plan.Execute()
+	_, err = plan.Execute(context.Background())
 	wantErr(t, err, "launch rejected by the static verifier", "uninitialized")
 
 	// After the host writes the input, the same plan launches fine, and a
@@ -79,10 +80,10 @@ func TestExecuteRejectsUninitializedRead(t *testing.T) {
 	if err := buf.StoreComplex64s(0, make([]complex64, n)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.Execute(context.Background()); err != nil {
 		t.Fatalf("initialized launch: %v", err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.Execute(context.Background()); err != nil {
 		t.Fatalf("relaunch on accelerator-written data: %v", err)
 	}
 }
@@ -148,7 +149,7 @@ func TestNoVerifyBothDirections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = p.Execute()
+	_, err = p.Execute(context.Background())
 	wantErr(t, err, "launch rejected by the static verifier", "uninitialized")
 
 	// Verification off: the same descriptor executes. The accelerator reads
@@ -165,7 +166,7 @@ func TestNoVerifyBothDirections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p2.Execute(); err != nil {
+	if _, err := p2.Execute(context.Background()); err != nil {
 		t.Fatalf("NoVerify execute: %v", err)
 	}
 	got, err := y2.LoadFloat32s(0, n)
@@ -200,7 +201,7 @@ func TestNoVerifyEscapeHatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.Execute(context.Background()); err != nil {
 		t.Fatalf("NoVerify execute: %v", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"mealib/internal/units"
 )
@@ -47,8 +48,16 @@ func (r *Region) contains(a Addr) bool {
 func (r *Region) end() Addr { return r.addr + Addr(len(r.data)) }
 
 // Space is a sparse simulated physical address space.
+//
+// The region table is guarded by mu so mappings can be created and destroyed
+// while accelerator flights walk the table concurrently (a multi-tenant
+// runtime allocates for one session while another's descriptors execute).
+// The region *contents* are not guarded: data races on the simulated DRAM
+// bytes are the responsibility of the dependence tracking above (admission
+// and wave gating in mealibrt), exactly as on real hardware.
 type Space struct {
-	size    units.Bytes
+	size    units.Bytes // fixed at construction
+	mu      sync.RWMutex
 	regions []*Region // sorted by base address, non-overlapping
 }
 
@@ -62,6 +71,8 @@ func (s *Space) Size() units.Bytes { return s.size }
 
 // Mapped returns the total size of all mapped regions.
 func (s *Space) Mapped() units.Bytes {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var total units.Bytes
 	for _, r := range s.regions {
 		total += r.Size()
@@ -69,8 +80,9 @@ func (s *Space) Mapped() units.Bytes {
 	return total
 }
 
-// locate returns the index of the region containing a, or -1.
-func (s *Space) locate(a Addr) int {
+// locateLocked returns the index of the region containing a, or -1. The
+// caller must hold mu (either mode).
+func (s *Space) locateLocked(a Addr) int {
 	i := sort.Search(len(s.regions), func(i int) bool {
 		return s.regions[i].end() > a
 	})
@@ -89,6 +101,8 @@ func (s *Space) Map(addr Addr, size units.Bytes) (*Region, error) {
 	if uint64(addr)+uint64(size) > uint64(s.size) {
 		return nil, fmt.Errorf("phys: map %s+%s exceeds space size %s", addr, size, s.size)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	i := sort.Search(len(s.regions), func(i int) bool {
 		return s.regions[i].end() > addr
 	})
@@ -104,7 +118,9 @@ func (s *Space) Map(addr Addr, size units.Bytes) (*Region, error) {
 
 // Unmap removes the region based at addr. The address must be a region base.
 func (s *Space) Unmap(addr Addr) error {
-	i := s.locate(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.locateLocked(addr)
 	if i < 0 || s.regions[i].addr != addr {
 		return fmt.Errorf("phys: unmap %s: no region based there", addr)
 	}
@@ -114,7 +130,9 @@ func (s *Space) Unmap(addr Addr) error {
 
 // Region returns the region containing addr, if any.
 func (s *Space) Region(addr Addr) (*Region, bool) {
-	i := s.locate(addr)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := s.locateLocked(addr)
 	if i < 0 {
 		return nil, false
 	}
@@ -123,7 +141,9 @@ func (s *Space) Region(addr Addr) (*Region, bool) {
 
 // slice returns the n bytes at addr, which must lie inside one region.
 func (s *Space) slice(addr Addr, n int) ([]byte, error) {
-	i := s.locate(addr)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := s.locateLocked(addr)
 	if i < 0 {
 		return nil, fmt.Errorf("phys: access to unmapped address %s", addr)
 	}
@@ -263,20 +283,4 @@ func (s *Space) StoreInt32s(addr Addr, v []int32) error {
 		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
 	}
 	return nil
-}
-
-// ReadInt32s copies n int32 values starting at addr.
-//
-// Deprecated: use LoadInt32s, which matches the Store/Load naming of the
-// other element accessors.
-func (s *Space) ReadInt32s(addr Addr, n int) ([]int32, error) {
-	return s.LoadInt32s(addr, n)
-}
-
-// WriteInt32s copies v into the space starting at addr.
-//
-// Deprecated: use StoreInt32s, which matches the Store/Load naming of the
-// other element accessors.
-func (s *Space) WriteInt32s(addr Addr, v []int32) error {
-	return s.StoreInt32s(addr, v)
 }

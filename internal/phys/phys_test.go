@@ -170,14 +170,6 @@ func TestInt32s(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The deprecated Write/Read aliases must keep forwarding for external
-	// compatibility.
-	if err := s.WriteInt32s(512, in[:1]); err != nil {
-		t.Fatal(err)
-	}
-	if alias, err := s.ReadInt32s(512, 1); err != nil || alias[0] != in[0] {
-		t.Fatalf("deprecated alias round-trip = %v, %v", alias, err)
-	}
 	for i := range in {
 		if in[i] != out[i] {
 			t.Errorf("element %d: got %v want %v", i, out[i], in[i])

@@ -111,9 +111,11 @@ func (s *Space) scatter(addr Addr, b []byte) error {
 // copyRange visits the region-backed byte windows covering [addr, addr+n),
 // failing if any byte of the range is unmapped.
 func (s *Space) copyRange(addr Addr, n int, visit func(off int, window []byte)) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	done := 0
 	for done < n {
-		i := s.locate(addr + Addr(done))
+		i := s.locateLocked(addr + Addr(done))
 		if i < 0 {
 			return fmt.Errorf("phys: access to unmapped address %s", addr+Addr(done))
 		}

@@ -5,6 +5,7 @@
 package tdl_test
 
 import (
+	"context"
 	"testing"
 
 	"mealib/internal/accel"
@@ -117,7 +118,7 @@ func execVerified(t *testing.T, prog *tdl.Program) {
 	if err != nil {
 		return // e.g. descriptor exceeds instruction memory
 	}
-	_, _ = plan.Execute() // errors tolerated; a panic fails the fuzzer
+	_, _ = plan.Execute(context.Background()) // errors tolerated; a panic fails the fuzzer
 }
 
 // eachComp visits every COMP in program order.

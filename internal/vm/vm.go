@@ -9,6 +9,7 @@ package vm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mealib/internal/alloc"
 	"mealib/internal/phys"
@@ -86,10 +87,16 @@ func (pt *PageTable) Translate(a VAddr) (phys.Addr, error) {
 type Driver struct {
 	space *phys.Space
 	cfg   Config
-	data  []*alloc.Buddy // one pool per memory stack
-	cmd   *alloc.Buddy
-	pt    PageTable
-	next  VAddr // bump-pointer virtual allocator
+	// data, cmd, and pt are fixed at install time — the slice header and
+	// pool pointers never change after NewDriver. Their *contents*
+	// (allocator state, page-table entries) are mutated only under mu.
+	data []*alloc.Buddy // one pool per memory stack
+	cmd  *alloc.Buddy
+	pt   PageTable
+	// mu serialises allocator and page-table mutations: concurrent sessions
+	// of a multi-tenant runtime allocate and free through one driver.
+	mu   sync.Mutex
+	next VAddr // bump-pointer virtual allocator
 }
 
 // Config describes the physical carve-outs handed to the driver at install
@@ -157,6 +164,8 @@ func (d *Driver) PageTable() *PageTable { return &d.pt }
 
 // DataUsed reports bytes allocated across all data spaces.
 func (d *Driver) DataUsed() units.Bytes {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var total units.Bytes
 	for _, pool := range d.data {
 		total += pool.Used()
@@ -173,6 +182,8 @@ func (d *Driver) mmap(pool *alloc.Buddy, n units.Bytes) (VAddr, phys.Addr, error
 	if n <= 0 {
 		return 0, 0, fmt.Errorf("vm: non-positive allocation %d", n)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	n = roundPages(n)
 	pa, err := pool.Alloc(n)
 	if err != nil {
@@ -219,6 +230,8 @@ func (d *Driver) AllocCommand(n units.Bytes) (VAddr, phys.Addr, error) {
 
 // Free releases a mapping created by AllocData or AllocCommand.
 func (d *Driver) Free(v VAddr) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	m, err := d.pt.remove(v)
 	if err != nil {
 		return err
@@ -238,4 +251,8 @@ func (d *Driver) Free(v VAddr) error {
 
 // Translate performs the virtual-to-physical translation the CPU does when
 // writing buffer addresses into a descriptor.
-func (d *Driver) Translate(v VAddr) (phys.Addr, error) { return d.pt.Translate(v) }
+func (d *Driver) Translate(v VAddr) (phys.Addr, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pt.Translate(v)
+}

@@ -28,6 +28,7 @@
 package mealib
 
 import (
+	"context"
 	"fmt"
 
 	"mealib/internal/accel"
@@ -77,6 +78,15 @@ func WithWorkers(n int) Option {
 // until a flight completes.
 func WithMaxInFlight(n int) Option {
 	return func(c *mealibrt.Config) { c.MaxInFlight = n }
+}
+
+// WithWavePipelining admits conflicting plans immediately and pipelines
+// them at wave granularity: a dependent plan's first waves start as the
+// producer's last waves drain, instead of the whole launches serialising.
+// Results are bit-identical either way; the model timeline shows the
+// overlap.
+func WithWavePipelining() Option {
+	return func(c *mealibrt.Config) { c.WavePipeline = true }
 }
 
 // WithoutFusion disables descriptor fusion: producer→consumer pass chains
@@ -171,7 +181,7 @@ func (s *System) Stats() Stats {
 
 // execute runs a finished plan once and destroys it.
 func (s *System) execute(p *mealibrt.Plan) (*Run, error) {
-	inv, err := p.Execute()
+	inv, err := p.Execute(context.Background())
 	if err != nil {
 		_ = p.Destroy()
 		return nil, err
