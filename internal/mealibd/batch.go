@@ -19,8 +19,11 @@ import (
 // loop-free, its footprint is under Config.BatchBytes, and it does not
 // conflict (write-write, write-read, read-write) with any batched member;
 // anything else flushes the batch first. Flushes also happen when the batch
-// reaches Config.BatchMax, and before any request whose semantics must
-// observe launched data (wait, load, free, plan destroy, stats) — so
+// reaches Config.BatchMax, before any request whose semantics must
+// observe launched data (wait, load, free, plan destroy, stats), and before
+// a store whose span conflicts with a batched member (the member's launch
+// must consume the data the tenant submitted it against, not the later
+// store) — so
 // batching is invisible to the tenant beyond the shared invocation
 // accounting: every member's Wait reports the merged launch with
 // Report.Batched carrying the member count.

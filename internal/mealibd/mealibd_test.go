@@ -532,6 +532,215 @@ func TestBatchCoalescing(t *testing.T) {
 	}
 }
 
+// TestStoreAfterSubmitOrder pins the wire order of submit-then-store with
+// batching on: the batched launch must consume the data it was submitted
+// against, so a later store to its input flushes the batch and waits for the
+// flight instead of overtaking the coalesced launch.
+func TestStoreAfterSubmitOrder(t *testing.T) {
+	_, addr := startServer(t, nil) // batching on (default BatchMax)
+	cl, err := client.Dial(client.Config{Network: "unix", Addr: addr, Tenant: "order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 64
+	x, err := cl.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := cl.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i % 7)
+		ys[i] = 1
+	}
+	if err := x.StoreFloat32s(0, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, ys); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: n, Alpha: 2, X: phys.Addr(x.PA()), Y: phys.Addr(y.PA()), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	p, err := cl.Plan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := p.Submit() // batchable: sits in the batch, unflushed
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This store conflicts with the batched member's reads: it must land
+	// after the launch, not before it.
+	if err := x.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := y.LoadFloat32s(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if want := 1 + 2*float32(i%7); v != want {
+			t.Fatalf("y[%d] = %v, want %v (store overtook the batched launch)", i, v, want)
+		}
+	}
+	// The store itself did land — x holds the zeros now.
+	xv, err := x.LoadFloat32s(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range xv {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v, want 0 (the post-submit store must still execute)", i, v)
+		}
+	}
+}
+
+// TestFreeBeforeWait frees a launch's input right after submitting it, while
+// the submission is still queued in admission, then immediately recycles the
+// range with a zero-filled allocation: the free must wait out the launch, so
+// the flight computes from the original data, never the recycled bytes.
+func TestFreeBeforeWait(t *testing.T) {
+	_, addr := startServer(t, func(c *mealibd.Config) { c.BatchMax = 1 })
+	cl, err := client.Dial(client.Config{
+		Network: "unix", Addr: addr, Tenant: "freefast", MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 64
+	slow := remoteSlowPlan(t, cl, 1<<18, 1<<12)
+	x, err := cl.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := cl.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i % 7)
+		ys[i] = 1
+	}
+	if err := x.StoreFloat32s(0, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, ys); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: n, Alpha: 2, X: phys.Addr(x.PA()), Y: phys.Addr(y.PA()), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	p, err := cl.Plan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := slow.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, cl, "slow flight admission", func(st statsReply) bool {
+		return st.Session.Inflight == 1
+	})
+	// Queues behind the session cap: the launch is pending, not in flight.
+	tk, err := p.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Free(); err != nil {
+		t.Fatal(err)
+	}
+	// Recycle: a fresh allocation of the same size lands on the freed range
+	// (buddy allocator) — scribble zeros over it.
+	z, err := cl.Alloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := y.LoadFloat32s(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if want := 1 + 2*float32(i%7); v != want {
+			t.Fatalf("y[%d] = %v, want %v (free released the input under a pending launch)", i, v, want)
+		}
+	}
+	if _, err := ts.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDestroyBeforeWait destroys a plan right after submitting it while the
+// submission is still queued: the destroy must wait for the launch to drain
+// instead of racing its Submit, and the ticket's Wait must still succeed.
+func TestDestroyBeforeWait(t *testing.T) {
+	_, addr := startServer(t, func(c *mealibd.Config) { c.BatchMax = 1 })
+	cl, err := client.Dial(client.Config{
+		Network: "unix", Addr: addr, Tenant: "impatient", MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 64
+	slow := remoteSlowPlan(t, cl, 1<<18, 1<<12)
+	p, y := remoteAxpy(t, cl, 3, n)
+	ts, err := slow.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, cl, "slow flight admission", func(st statsReply) bool {
+		return st.Session.Inflight == 1
+	})
+	tk, err := p.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Destroy(); err != nil {
+		t.Fatalf("destroy of a plan with a pending launch: %v", err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatalf("wait after destroy: %v (destroy must drain the pending launch, not race it)", err)
+	}
+	vs, err := y.LoadFloat32s(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if want := 1 + 3*float32(i%7); v != want {
+			t.Fatalf("y[%d] = %v, want %v", i, v, want)
+		}
+	}
+	if _, err := ts.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSubmissionOrderPreserved submits a producer and a dependent consumer
 // back to back without waiting in between: the per-connection ordering must
 // keep the data dependency intact even though admission is asynchronous.

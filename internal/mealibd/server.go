@@ -11,6 +11,7 @@ import (
 	"mealib/internal/analysis/tdlcheck"
 	"mealib/internal/descriptor"
 	"mealib/internal/mealibrt"
+	"mealib/internal/phys"
 	"mealib/internal/telemetry"
 	"mealib/internal/units"
 )
@@ -330,8 +331,12 @@ func (sc *srvConn) handleFree(d *Dec) ([]byte, error) {
 		return nil, fmt.Errorf("mealibd: unknown buffer %d", id)
 	}
 	// A batched descriptor may still reference the buffer: flush first so
-	// the free waits behind the launch, not ahead of it.
+	// the free waits behind the launch, not ahead of it — and wait for every
+	// conflicting launch to register, or MemFree could release (and the
+	// allocator recycle) the range while a submitted launch still references
+	// it.
 	sc.batch.flush()
+	sc.awaitConflicting(tdlcheck.Span{Addr: b.PA(), Bytes: b.Size()}, true)
 	if err := sc.sess.MemFree(b); err != nil {
 		return nil, err
 	}
@@ -351,6 +356,15 @@ func (sc *srvConn) handleStore(d *Dec) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("mealibd: unknown buffer %d", id)
 	}
+	// A store must not overtake a launch the tenant submitted first: a
+	// batched member touching the span flushes the batch, and any in-flight
+	// launch not yet registered with the runtime is waited for — the
+	// session-level hostOp wait only sees registered flights.
+	span := tdlcheck.Span{Addr: b.PA() + phys.Addr(off), Bytes: units.Bytes(len(data))}
+	if sc.batch.conflicts([]tdlcheck.Span{span}, nil) {
+		sc.batch.flush()
+	}
+	sc.awaitConflicting(span, true)
 	switch kind {
 	case ElemF32:
 		if len(data)%4 != 0 {
@@ -385,8 +399,16 @@ func (sc *srvConn) handleLoad(d *Dec) ([]byte, error) {
 		return nil, fmt.Errorf("mealibd: unknown buffer %d", id)
 	}
 	// Loads observe launched data: anything still sitting in the batch must
-	// fly first.
+	// fly first, and writers not yet registered with the runtime must
+	// register so the host-op wait underneath sees them.
 	sc.batch.flush()
+	elem := units.Bytes(4)
+	if kind == ElemC64 {
+		elem = 8
+	}
+	sc.awaitConflicting(tdlcheck.Span{
+		Addr: b.PA() + phys.Addr(off), Bytes: elem * units.Bytes(count),
+	}, false)
 	var data []byte
 	switch kind {
 	case ElemF32:
@@ -437,7 +459,12 @@ func (sc *srvConn) handleDestroyPlan(d *Dec) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("mealibd: unknown plan %d", id)
 	}
+	// The plan may still sit in the batch (flush launches it) or have
+	// launches in flight whose goroutines read it concurrently: wait them
+	// out, or Destroy would race its own Submit and free command space a
+	// flight is still decoding.
 	sc.batch.flush()
+	sc.awaitPlanFinished(p)
 	if err := p.Destroy(); err != nil {
 		return nil, err
 	}
@@ -522,10 +549,58 @@ func (sc *srvConn) handleStats(d *Dec) ([]byte, error) {
 // reach the runtime's admission queue first, or the producer/consumer order
 // the tenant expressed on the wire could invert. Each launch registers here
 // and closes registered once its Submit call returned — at which point the
-// runtime has fixed its place in the schedule (or rejected it).
+// runtime has fixed its place in the schedule (or rejected it) and its own
+// span-conflict waits (host stores/loads, MemFree) can see it. finished
+// closes once the flight has fully drained; plan identifies the launched
+// plan so DestroyPlan can wait out its own submissions.
 type submission struct {
+	plan          *mealibrt.Plan
 	writes, reads []tdlcheck.Span
 	registered    chan struct{}
+	finished      chan struct{}
+}
+
+// awaitConflicting blocks until every outstanding submission whose footprint
+// conflicts with a host access to span has registered with the runtime.
+// Until a launch goroutine's Plan.Submit returns, the runtime cannot see the
+// submission, so its conflict waits (Buffer host ops, Session.MemFree) would
+// let the host access — or a free and reallocation — slip in ahead of a
+// launch the tenant submitted first. Registered submissions are pruned.
+func (sc *srvConn) awaitConflicting(span tdlcheck.Span, write bool) {
+	one := []tdlcheck.Span{span}
+	live := sc.outstanding[:0]
+	for _, o := range sc.outstanding {
+		if tdlSpansOverlap(one, o.writes) || (write && tdlSpansOverlap(one, o.reads)) {
+			<-o.registered
+			continue
+		}
+		select {
+		case <-o.registered:
+		default:
+			live = append(live, o)
+		}
+	}
+	sc.outstanding = live
+}
+
+// awaitPlanFinished blocks until every outstanding launch of p has fully
+// completed, so destroying p can neither race its own Submit (an
+// unsynchronized baseVA read) nor free command space a flight is still
+// decoding. Registered submissions of other plans are pruned.
+func (sc *srvConn) awaitPlanFinished(p *mealibrt.Plan) {
+	live := sc.outstanding[:0]
+	for _, o := range sc.outstanding {
+		if o.plan == p {
+			<-o.finished
+			continue
+		}
+		select {
+		case <-o.registered:
+		default:
+			live = append(live, o)
+		}
+	}
+	sc.outstanding = live
 }
 
 // launch admits p asynchronously and fans the completed invocation out to
@@ -553,10 +628,12 @@ func (sc *srvConn) launch(p *mealibrt.Plan, ephemeral bool, batched int64, pends
 			deps = append(deps, o)
 		}
 	}
-	sub := &submission{writes: writes, reads: reads, registered: make(chan struct{})}
+	sub := &submission{plan: p, writes: writes, reads: reads,
+		registered: make(chan struct{}), finished: make(chan struct{})}
 	sc.outstanding = append(live, sub)
 	h := sc.srv.hWaitNanos
 	go func() {
+		defer close(sub.finished)
 		for _, d := range deps {
 			<-d.registered
 		}

@@ -626,14 +626,18 @@ func (pi *PendingInvocation) Wait(ctx context.Context) (*Invocation, error) {
 // bounds only the admission wait: once admitted, the launch proceeds.
 func (p *Plan) Submit(ctx context.Context) (*PendingInvocation, error) {
 	r := p.rt
-	if p.baseVA == 0 {
-		return nil, fmt.Errorf("mealibrt: plan already destroyed")
-	}
 	s := p.sess
 	tb := r.tr.Buffer(telemetry.TrackRuntime)
 	defer tb.Release()
 	tb.Begin(telemetry.SpanSubmit, "submit")
 	r.mu.Lock()
+	// baseVA is guarded by mu: in the server, Destroy and Submit run on
+	// different goroutines.
+	if p.baseVA == 0 {
+		r.mu.Unlock()
+		tb.End(telemetry.SpanSubmit, 0)
+		return nil, fmt.Errorf("mealibrt: plan already destroyed")
+	}
 	if s != nil && s.closed {
 		r.mu.Unlock()
 		tb.End(telemetry.SpanSubmit, 0)
@@ -672,6 +676,9 @@ func (p *Plan) Submit(ctx context.Context) (*PendingInvocation, error) {
 			}
 			if !w.admitted {
 				r.dequeueLocked(w)
+				// A host access (or a free) may be blocked on this waiter's
+				// footprint: its departure can unblock them.
+				r.cond.Broadcast()
 				r.mu.Unlock()
 				tb.End2(telemetry.SpanAdmission, 0,
 					telemetry.Arg{Key: "cancelled", Val: int64(1)}, telemetry.Arg{})
@@ -862,17 +869,24 @@ func (r *Runtime) ModelTime() units.Seconds {
 // Destroy releases the plan's command-space allocation
 // (mealib_acc_destroy).
 func (p *Plan) Destroy() error {
+	r := p.rt
+	r.mu.Lock()
+	// baseVA is guarded by mu: in the server, Destroy and Submit run on
+	// different goroutines.
 	if p.baseVA == 0 {
+		r.mu.Unlock()
 		return fmt.Errorf("mealibrt: plan already destroyed")
 	}
-	if p.sess != nil {
-		p.rt.mu.Lock()
+	if p.sess == nil {
+		if err := r.hostAccess(); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+	} else {
 		delete(p.sess.plans, p)
-		p.rt.mu.Unlock()
-	} else if err := p.rt.hostAccess(); err != nil {
-		return err
 	}
-	err := p.rt.driver.Free(p.baseVA)
+	va := p.baseVA
 	p.baseVA = 0
-	return err
+	r.mu.Unlock()
+	return r.driver.Free(va)
 }

@@ -8,6 +8,7 @@ import (
 	"mealib/internal/phys"
 	"mealib/internal/telemetry"
 	"mealib/internal/units"
+	"mealib/internal/vm"
 )
 
 // Session is one tenant's view of the runtime: a private buffer namespace
@@ -175,13 +176,19 @@ func (s *Session) MemFree(b *Buffer) error {
 	delete(s.buffers, b)
 	s.memUsed -= b.size
 	s.gMemUsed.Set(int64(s.memUsed))
+	// The range may be reallocated: whatever was written there no longer
+	// counts as initialized data for the read-before-write verifier.
+	r.initialized.sub(span)
 	r.mu.Unlock()
 	return r.driver.Free(b.va)
 }
 
-// spanBusyLocked reports whether an in-flight flight conflicts with a host
-// access to span: any overlap for a host write, writer overlap for a host
-// read. Called with mu held.
+// spanBusyLocked reports whether a descriptor the runtime has accepted —
+// in flight, or queued for admission — conflicts with a host access to span:
+// any overlap for a host write, writer overlap for a host read. Queued
+// submissions count because their place in the schedule is already fixed; a
+// host access (or a free) slipping in ahead of one would invert the order
+// the tenant expressed. Called with mu held.
 func (r *Runtime) spanBusyLocked(span tdlcheck.Span, write bool) bool {
 	one := []tdlcheck.Span{span}
 	for _, fl := range r.inflight {
@@ -189,6 +196,14 @@ func (r *Runtime) spanBusyLocked(span tdlcheck.Span, write bool) bool {
 			return true
 		}
 		if write && spansOverlap(one, fl.reads) {
+			return true
+		}
+	}
+	for _, w := range r.waiters {
+		if spansOverlap(one, w.p.writes) {
+			return true
+		}
+		if write && spansOverlap(one, w.p.reads) {
 			return true
 		}
 	}
@@ -282,13 +297,18 @@ func (s *Session) Close() error {
 	for s.inflight > 0 || s.queued > 0 {
 		r.cond.Wait()
 	}
-	plans := make([]*Plan, 0, len(s.plans))
+	// baseVA is guarded by mu (Destroy and Submit run on different
+	// goroutines in the server): capture and zero it here, free outside.
+	vas := make([]vm.VAddr, 0, len(s.plans)+len(s.buffers))
 	for p := range s.plans {
-		plans = append(plans, p)
+		if p.baseVA != 0 {
+			vas = append(vas, p.baseVA)
+			p.baseVA = 0
+		}
 	}
-	bufs := make([]*Buffer, 0, len(s.buffers))
 	for b := range s.buffers {
-		bufs = append(bufs, b)
+		vas = append(vas, b.va)
+		r.initialized.sub(tdlcheck.Span{Addr: b.pa, Bytes: b.size})
 	}
 	s.plans = make(map[*Plan]struct{})
 	s.buffers = make(map[*Buffer]struct{})
@@ -296,16 +316,8 @@ func (s *Session) Close() error {
 	s.gMemUsed.Set(0)
 	r.mu.Unlock()
 	var firstErr error
-	for _, p := range plans {
-		if p.baseVA != 0 {
-			if err := r.driver.Free(p.baseVA); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			p.baseVA = 0
-		}
-	}
-	for _, b := range bufs {
-		if err := r.driver.Free(b.va); err != nil && firstErr == nil {
+	for _, va := range vas {
+		if err := r.driver.Free(va); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

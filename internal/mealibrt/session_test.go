@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mealib/internal/accel"
+	"mealib/internal/analysis/tdlcheck"
 	"mealib/internal/descriptor"
 	"mealib/internal/units"
 )
@@ -272,6 +273,128 @@ func TestSessionBackpressure(t *testing.T) {
 	}
 	if st.Invocations != 3 {
 		t.Errorf("Invocations = %d, want 3", st.Invocations)
+	}
+}
+
+// A submission queued in admission (not yet a flight) must be visible to
+// MemFree's conflict wait: freeing a buffer a queued launch reads — letting
+// the allocator recycle its range — would have the launch execute against
+// whatever lands there once it admits.
+func TestMemFreeWaitsForQueuedConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInFlight = 1
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.NewSession(SessionConfig{Name: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 12
+	p, x, y := sessAxpyPlan(t, s, 2, n)
+	// The blocker holds the single global in-flight slot over disjoint
+	// buffers, so p's submission queues without conflicting on data.
+	blocker, _, _ := slowAxpyPlan(t, r, 1<<16, 1<<11)
+	fb, err := blocker.Submit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pi, err := p.Submit(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := pi.Wait(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitUntil(t, "p to queue", func() bool { return s.Stats().Queued == 1 })
+	span := tdlcheck.Span{Addr: x.PA(), Bytes: x.Size()}
+	r.mu.Lock()
+	busy := r.spanBusyLocked(span, true)
+	r.mu.Unlock()
+	if !busy {
+		t.Fatal("queued conflicting submission is invisible to spanBusyLocked: MemFree would release a buffer a queued launch reads")
+	}
+	// The free must block behind the queued launch and only then release.
+	freed := make(chan error, 1)
+	go func() { freed <- s.MemFree(x) }()
+	if _, err := fb.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	checkAxpy(t, y, 2, n)
+	if err := <-freed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Freeing a buffer must retire its span from the initialized set: a fresh
+// allocation recycling the physical range is virgin memory again, and a
+// descriptor reading it before writing must be rejected by the launch-time
+// verifier instead of silently reading zeros.
+func TestMemFreeClearsInitialized(t *testing.T) {
+	r := newRuntime(t)
+	s, err := r.NewSession(SessionConfig{Name: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	x, err := s.MemAlloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	span := tdlcheck.Span{Addr: x.PA(), Bytes: x.Size()}
+	if err := s.MemFree(x); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	var leaked []tdlcheck.Span
+	for _, sp := range r.initialized.all() {
+		if sp.Overlaps(span) {
+			leaked = append(leaked, sp)
+		}
+	}
+	r.mu.Unlock()
+	if leaked != nil {
+		t.Fatalf("freed span %v still counts as initialized: %v", span, leaked)
+	}
+	// Behavioral check when the allocator recycles the exact range: reading
+	// the fresh buffer without writing it must fail the verifier.
+	x2, err := s.MemAlloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := s.MemAlloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := y.StoreFloat32s(0, make([]float32, n)); err != nil {
+		t.Fatal(err)
+	}
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: n, Alpha: 1, X: x2.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d.AddEndPass()
+	p, err := s.AccPlanDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.PA() == span.Addr {
+		if _, err := p.Execute(context.Background()); err == nil {
+			t.Fatal("launch reading a recycled never-written range must be rejected")
+		}
 	}
 }
 

@@ -54,6 +54,39 @@ func (ss *spanSet) add(s tdlcheck.Span) {
 	ss.spans = append(ss.spans[:i+1], ss.spans[j:]...)
 }
 
+// sub removes a span from the set, trimming partial overlaps and splitting
+// any interval the removal lands inside. Freeing a buffer uses this so the
+// read-before-write verifier treats a later allocation of the same physical
+// range as virgin memory again.
+func (ss *spanSet) sub(s tdlcheck.Span) {
+	if s.Bytes <= 0 {
+		return
+	}
+	start, end := s.Addr, s.Addr+phys.Addr(s.Bytes)
+	// First existing span whose end lies strictly past start (adjacency does
+	// not overlap for removal, hence >).
+	i := sort.Search(len(ss.spans), func(k int) bool {
+		sp := ss.spans[k]
+		return sp.Addr+phys.Addr(sp.Bytes) > start
+	})
+	j := i
+	var keep []tdlcheck.Span
+	for j < len(ss.spans) && ss.spans[j].Addr < end {
+		sp := ss.spans[j]
+		if sp.Addr < start {
+			keep = append(keep, tdlcheck.Span{Addr: sp.Addr, Bytes: units.Bytes(start - sp.Addr)})
+		}
+		if e := sp.Addr + phys.Addr(sp.Bytes); e > end {
+			keep = append(keep, tdlcheck.Span{Addr: end, Bytes: units.Bytes(e - end)})
+		}
+		j++
+	}
+	if i == j {
+		return
+	}
+	ss.spans = append(ss.spans[:i], append(keep, ss.spans[j:]...)...)
+}
+
 // all returns the merged intervals in address order. The slice aliases the
 // set; callers must not retain it across add calls.
 func (ss *spanSet) all() []tdlcheck.Span { return ss.spans }

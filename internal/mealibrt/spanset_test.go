@@ -64,6 +64,55 @@ func TestSpanSetIgnoresEmpty(t *testing.T) {
 	}
 }
 
+func TestSpanSetSub(t *testing.T) {
+	build := func(spans ...tdlcheck.Span) *spanSet {
+		var ss spanSet
+		for _, s := range spans {
+			ss.add(s)
+		}
+		return &ss
+	}
+	cases := []struct {
+		name string
+		ss   *spanSet
+		sub  tdlcheck.Span
+		want []tdlcheck.Span
+	}{
+		{"exact", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 100, Bytes: 10}, nil},
+		{"split", build(tdlcheck.Span{Addr: 100, Bytes: 100}),
+			tdlcheck.Span{Addr: 140, Bytes: 20},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 40}, {Addr: 160, Bytes: 40}}},
+		{"trim head", build(tdlcheck.Span{Addr: 100, Bytes: 50}),
+			tdlcheck.Span{Addr: 80, Bytes: 40},
+			[]tdlcheck.Span{{Addr: 120, Bytes: 30}}},
+		{"trim tail", build(tdlcheck.Span{Addr: 100, Bytes: 50}),
+			tdlcheck.Span{Addr: 130, Bytes: 40},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 30}}},
+		{"across several", build(
+			tdlcheck.Span{Addr: 100, Bytes: 10},
+			tdlcheck.Span{Addr: 120, Bytes: 10},
+			tdlcheck.Span{Addr: 140, Bytes: 10}),
+			tdlcheck.Span{Addr: 105, Bytes: 40},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 5}, {Addr: 145, Bytes: 5}}},
+		{"adjacent untouched", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 110, Bytes: 10},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}}},
+		{"disjoint untouched", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 200, Bytes: 10},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}}},
+		{"empty ignored", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 100, Bytes: 0},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}}},
+	}
+	for _, tc := range cases {
+		tc.ss.sub(tc.sub)
+		if !spansEqual(tc.ss.all(), tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.ss.all(), tc.want)
+		}
+	}
+}
+
 // TestSpanSetMatchesNaive drives the set with random spans and checks the
 // invariants (sorted, disjoint, non-adjacent) and coverage against a naive
 // byte map.
@@ -74,6 +123,13 @@ func TestSpanSetMatchesNaive(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		addr := phys.Addr(rng.Intn(4096))
 		n := units.Bytes(rng.Intn(64) + 1)
+		if rng.Intn(4) == 0 {
+			ss.sub(tdlcheck.Span{Addr: addr, Bytes: n})
+			for b := addr; b < addr+phys.Addr(n); b++ {
+				delete(covered, b)
+			}
+			continue
+		}
 		ss.add(tdlcheck.Span{Addr: addr, Bytes: n})
 		for b := addr; b < addr+phys.Addr(n); b++ {
 			covered[b] = true
