@@ -71,4 +71,14 @@ go run ./cmd/mealib-bench -serve "$servedir" -launches 16 >/dev/null
 grep -q launches_per_sec "$servedir/BENCH_SERVE.json"
 grep -q wait_p99_us "$servedir/BENCH_SERVE.json"
 
+echo "==> out-of-core differential smoke (oversized AXPY staged through 512 KiB, prefetch on/off)"
+oocdir=$(mktemp -d)
+tmpdirs="$tmpdirs $oocdir"
+# The benchmark itself verifies both runs bit for bit against the host
+# reference and fails hard on a mismatch; here we additionally check the
+# artifact recorded the differential and both timing columns.
+go run ./cmd/mealib-bench -ooc "$oocdir" >/dev/null
+grep -q '"bit_identical_to_host": true' "$oocdir/BENCH_OOC.json"
+grep -q prefetch_speedup "$oocdir/BENCH_OOC.json"
+
 echo "check.sh: all gates passed"

@@ -9,6 +9,7 @@
 //	mealib-bench -scale 2   # scale factor for the measured Figure 1
 //	mealib-bench -micro .   # functional-path micro-benchmarks; writes one
 //	                        # BENCH_<op>.json per op into the directory
+//	mealib-bench -ooc .     # out-of-core benchmark; writes BENCH_OOC.json
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON instead of text tables")
 	micro := flag.String("micro", "", "run the functional-path micro-benchmarks and write BENCH_<op>.json files into this directory")
 	serve := flag.String("serve", "", "run the loaded-server benchmark (mealibd over unix sockets at 1/4/16 clients) and write BENCH_SERVE.json into this directory")
+	ooc := flag.String("ooc", "", "run the out-of-core benchmark (oversized AXPY, prefetch on/off, verified against the host reference) and write BENCH_OOC.json into this directory")
 	launches := flag.Int("launches", 64, "per-client launch count for -serve")
 	workers := flag.Int("workers", 0, "accelerator worker-pool size for -micro (0 = auto, 1 = serial)")
 	opsFlag := flag.String("ops", "", "comma-separated op filter for -micro (e.g. AXPY,FFT); empty = all ops")
@@ -72,6 +74,13 @@ func main() {
 	}
 
 	switch {
+	case *ooc != "":
+		path, res, err := exp.WriteOOCBench(*ooc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+		printTable(exp.RenderOOC(res), nil)
 	case *serve != "":
 		path, res, err := exp.WriteServeBench(*serve, *launches)
 		if err != nil {

@@ -140,10 +140,25 @@ type Report struct {
 	// PerOp stay unadjusted, so total DRAM traffic is ΣPerOp.Bytes minus
 	// ElidedBytes.
 	ElidedBytes units.Bytes
+	// OOCChunks counts chunked launches of out-of-core descriptors, and
+	// StagedBytes the host↔staging link traffic (stage-in plus write-back)
+	// those launches moved. Both are zero for in-core executions.
+	OOCChunks   int64
+	StagedBytes units.Bytes
 }
 
 func newReport() *Report {
 	return &Report{PerOp: make(map[descriptor.OpCode]*OpStats)}
+}
+
+// NewReport returns an empty report for callers outside the layer (the
+// runtime's out-of-core driver aggregates per-chunk reports into one).
+func NewReport() *Report { return newReport() }
+
+// Merge folds sub into r in deterministic op order (see merge).
+func (r *Report) Merge(sub *Report) {
+	r.merge(sub)
+	r.FetchDecodeTime += sub.FetchDecodeTime
 }
 
 func (r *Report) opStats(op descriptor.OpCode) *OpStats {
@@ -397,6 +412,8 @@ func (r *Report) merge(sub *Report) {
 	r.LMSpillBytes += sub.LMSpillBytes
 	r.RemoteBytes += sub.RemoteBytes
 	r.ElidedBytes += sub.ElidedBytes
+	r.OOCChunks += sub.OOCChunks
+	r.StagedBytes += sub.StagedBytes
 	ops := make([]descriptor.OpCode, 0, len(sub.PerOp))
 	for op := range sub.PerOp {
 		ops = append(ops, op)

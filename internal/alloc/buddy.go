@@ -6,6 +6,7 @@
 package alloc
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -15,6 +16,20 @@ import (
 
 // MinBlock is the smallest allocatable block (one 4 KiB frame).
 const MinBlock = 4 * units.KiB
+
+// Typed allocation failures. Callers branch on these with errors.Is: a
+// request no pool of this size could ever satisfy (ErrTooLarge) is a
+// capacity fact about the hardware — the runtime's out-of-core path treats
+// it as the trigger to fall back to a host-backed allocation — while
+// ErrNoSpace is transient fragmentation or exhaustion that a free may cure.
+var (
+	// ErrTooLarge marks a request bigger than the pool itself: retrying
+	// after frees cannot help.
+	ErrTooLarge = errors.New("alloc: request exceeds pool capacity")
+	// ErrNoSpace marks exhaustion or fragmentation: the pool is out of
+	// contiguous blocks right now, but frees can make the request succeed.
+	ErrNoSpace = errors.New("alloc: out of contiguous memory")
+)
 
 // Buddy is a binary-buddy allocator over a contiguous physical range.
 // The zero value is not usable; call NewBuddy.
@@ -82,7 +97,7 @@ func (b *Buddy) Alloc(n units.Bytes) (phys.Addr, error) {
 	}
 	want := b.orderFor(n)
 	if want > b.orders {
-		return 0, fmt.Errorf("alloc: request %s exceeds pool size %s", n, b.size)
+		return 0, fmt.Errorf("%w: request %s exceeds pool size %s", ErrTooLarge, n, b.size)
 	}
 	// Find the smallest free block of order >= want.
 	k := want
@@ -90,7 +105,7 @@ func (b *Buddy) Alloc(n units.Bytes) (phys.Addr, error) {
 		k++
 	}
 	if k > b.orders {
-		return 0, fmt.Errorf("alloc: out of contiguous memory for %s (used %s of %s)", n, b.used, b.size)
+		return 0, fmt.Errorf("%w for %s (used %s of %s)", ErrNoSpace, n, b.used, b.size)
 	}
 	var off uint64
 	for o := range b.free[k] {

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -188,5 +189,42 @@ func TestPropertyNoOverlap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestErrorKinds pins the two failure sentinels apart: a request bigger
+// than the pool itself is ErrTooLarge (a capacity fact no free can cure —
+// what the out-of-core fallback keys on), while exhaustion of a pool that
+// could satisfy the size is ErrNoSpace (transient; falling back to
+// host-backed memory here would hide fragmentation bugs).
+func TestErrorKinds(t *testing.T) {
+	b := mustBuddy(t, 0, 16*units.KiB)
+	_, err := b.Alloc(32 * units.KiB)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized request: got %v, want ErrTooLarge", err)
+	}
+	if errors.Is(err, ErrNoSpace) {
+		t.Fatalf("oversized request must not read as exhaustion: %v", err)
+	}
+	// Exactly pool-sized is not too large...
+	a, err := b.Alloc(16 * units.KiB)
+	if err != nil {
+		t.Fatalf("pool-sized request: %v", err)
+	}
+	// ...and a second fitting request against the now-full pool is
+	// exhaustion, not a capacity error.
+	_, err = b.Alloc(4 * units.KiB)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("exhausted pool: got %v, want ErrNoSpace", err)
+	}
+	if errors.Is(err, ErrTooLarge) {
+		t.Fatalf("exhaustion must not read as a capacity error: %v", err)
+	}
+	// Freeing cures ErrNoSpace — the defining difference from ErrTooLarge.
+	if err := b.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Alloc(4 * units.KiB); err != nil {
+		t.Fatalf("post-free retry: %v", err)
 	}
 }

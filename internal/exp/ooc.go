@@ -1,0 +1,213 @@
+package exp
+
+// Out-of-core benchmark: the harness behind `mealib-bench -ooc`. It runs an
+// AXPY whose operand footprint is several times the stack's physical data
+// space, so both vectors live host-backed and the launch executes as a
+// chunked staged schedule through the double-buffered staging region. The
+// same launch is timed twice — prefetch on (tile N+1's stage-in overlaps
+// tile N's execution) and prefetch off (stage in, execute, write back,
+// strictly in series) — and both runs are checked bit for bit against a
+// host reference, so the emitted BENCH_OOC.json doubles as the out-of-core
+// differential smoke.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mealib/internal/accel"
+	"mealib/internal/descriptor"
+	"mealib/internal/mealibrt"
+	"mealib/internal/units"
+)
+
+// oocBench* fix the benchmark shape: a 4 MiB data space (minus the 512 KiB
+// staging carve-out) facing a 16 MiB AXPY footprint — 2^21 elements per
+// vector, four times over-subscribed.
+const (
+	oocBenchDataSpace = 4 * units.MiB
+	oocBenchStaging   = 512 * units.KiB
+	oocBenchElems     = 1 << 21
+	oocBenchAlpha     = float32(1.5)
+)
+
+// OOCRun is one timed out-of-core execution of the benchmark launch.
+type OOCRun struct {
+	// ModelTimeUs is the modelled end-to-end invocation time (host overhead
+	// plus the pipelined staging/execution timeline) in microseconds.
+	ModelTimeUs float64 `json:"model_time_us"`
+	// ModelEnergyUJ adds staging link energy to accelerator and overhead
+	// energy, in microjoules.
+	ModelEnergyUJ float64 `json:"model_energy_uj"`
+	// Chunks is the number of staged launches the plan was split into.
+	Chunks int64 `json:"chunks"`
+	// StagedBytes counts bytes moved over the staging link, both directions.
+	StagedBytes units.Bytes `json:"staged_bytes"`
+}
+
+// OOCBenchResult is the BENCH_OOC.json record.
+type OOCBenchResult struct {
+	DataSpaceBytes units.Bytes `json:"data_space_bytes"`
+	StagingBytes   units.Bytes `json:"staging_bytes"`
+	Elems          int64       `json:"elems"` // per vector
+	// FootprintBytes is the total operand footprint of the launch.
+	FootprintBytes units.Bytes `json:"footprint_bytes"`
+	// Prefetch/Sync time the identical launch with stage-in overlap on and
+	// off. Results are bit-identical either way; only the timeline differs.
+	Prefetch OOCRun `json:"prefetch"`
+	Sync     OOCRun `json:"sync"`
+	// PrefetchSpeedup is sync model time over prefetch model time.
+	PrefetchSpeedup float64 `json:"prefetch_speedup"`
+	// BitIdenticalToHost records that both runs matched the float32 host
+	// reference bit for bit — the differential the smoke gate checks.
+	BitIdenticalToHost bool `json:"bit_identical_to_host"`
+}
+
+// oocBenchInput derives the deterministic benchmark vectors.
+func oocBenchInput(n int, seed float32) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = seed + float32(i%251)*0.5 - float32(i%7)
+	}
+	return v
+}
+
+// oocBenchRun executes the oversized AXPY once and verifies it against the
+// host reference.
+func oocBenchRun(noPrefetch bool) (*OOCRun, error) {
+	cfg := mealibrt.DefaultConfig()
+	cfg.Driver.DataSize = oocBenchDataSpace
+	cfg.Driver.StagingSize = oocBenchStaging
+	cfg.NoPrefetch = noPrefetch
+	rt, err := mealibrt.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const n = oocBenchElems
+	x, err := rt.MemAlloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	y, err := rt.MemAlloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	if x.Resident() || y.Resident() {
+		return nil, fmt.Errorf("ooc bench: oversized operands unexpectedly resident")
+	}
+	xs := oocBenchInput(n, 1)
+	ys := oocBenchInput(n, -3)
+	if err := x.StoreFloat32s(0, xs); err != nil {
+		return nil, err
+	}
+	if err := y.StoreFloat32s(0, ys); err != nil {
+		return nil, err
+	}
+
+	d := &descriptor.Descriptor{}
+	if err := d.AddComp(descriptor.OpAXPY, accel.AxpyArgs{
+		N: n, Alpha: oocBenchAlpha, X: x.PA(), Y: y.PA(), IncX: 1, IncY: 1,
+	}.Params()); err != nil {
+		return nil, err
+	}
+	d.AddEndPass()
+	p, err := rt.AccPlanDescriptor(d)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := p.Execute(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if inv.Report.OOCChunks < 2 {
+		return nil, fmt.Errorf("ooc bench: %d chunks, want a multi-chunk schedule", inv.Report.OOCChunks)
+	}
+
+	got, err := y.LoadFloat32s(0, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range got {
+		want := ys[i] + oocBenchAlpha*xs[i]
+		if math.Float32bits(got[i]) != math.Float32bits(want) {
+			return nil, fmt.Errorf("ooc bench: element %d = %v, host reference %v (noPrefetch=%v)",
+				i, got[i], want, noPrefetch)
+		}
+	}
+	return &OOCRun{
+		ModelTimeUs:   float64(inv.TotalTime()) * 1e6,
+		ModelEnergyUJ: float64(inv.TotalEnergy()) * 1e6,
+		Chunks:        inv.Report.OOCChunks,
+		StagedBytes:   inv.Report.StagedBytes,
+	}, nil
+}
+
+// OOCBench runs the oversized launch with prefetch on and off and verifies
+// both against the host reference.
+func OOCBench() (*OOCBenchResult, error) {
+	pre, err := oocBenchRun(false)
+	if err != nil {
+		return nil, err
+	}
+	syn, err := oocBenchRun(true)
+	if err != nil {
+		return nil, err
+	}
+	if pre.Chunks != syn.Chunks || pre.StagedBytes != syn.StagedBytes {
+		return nil, fmt.Errorf("ooc bench: prefetch changed the schedule (%d/%d chunks, %d/%d staged bytes)",
+			pre.Chunks, syn.Chunks, pre.StagedBytes, syn.StagedBytes)
+	}
+	return &OOCBenchResult{
+		DataSpaceBytes:     oocBenchDataSpace,
+		StagingBytes:       oocBenchStaging,
+		Elems:              oocBenchElems,
+		FootprintBytes:     2 * 4 * oocBenchElems,
+		Prefetch:           *pre,
+		Sync:               *syn,
+		PrefetchSpeedup:    syn.ModelTimeUs / pre.ModelTimeUs,
+		BitIdenticalToHost: true, // both runs verified above; errors abort
+	}, nil
+}
+
+// WriteOOCBench runs the out-of-core benchmark and writes BENCH_OOC.json
+// into dir.
+func WriteOOCBench(dir string) (string, *OOCBenchResult, error) {
+	res, err := OOCBench()
+	if err != nil {
+		return "", nil, err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", nil, err
+	}
+	path := filepath.Join(dir, "BENCH_OOC.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return "", nil, err
+	}
+	return path, res, nil
+}
+
+// RenderOOC formats the out-of-core benchmark.
+func RenderOOC(res *OOCBenchResult) *Table {
+	row := func(name string, r OOCRun) []string {
+		return []string{
+			name, f(r.ModelTimeUs), f(r.ModelEnergyUJ),
+			fmt.Sprintf("%d", r.Chunks), fmt.Sprintf("%d", r.StagedBytes),
+		}
+	}
+	return &Table{
+		Title: fmt.Sprintf("Out-of-core AXPY: %d MiB footprint through a %d MiB stack (%d KiB staging)",
+			res.FootprintBytes>>20, res.DataSpaceBytes>>20, res.StagingBytes>>10),
+		Columns: []string{"Mode", "Model time (us)", "Model energy (uJ)", "Chunks", "Staged bytes"},
+		Rows: [][]string{
+			row("prefetch", res.Prefetch),
+			row("sync", res.Sync),
+		},
+		Notes: []string{
+			fmt.Sprintf("prefetch speedup %.2fx; both runs bit-identical to the host reference", res.PrefetchSpeedup),
+		},
+	}
+}

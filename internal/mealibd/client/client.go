@@ -137,6 +137,8 @@ func wireError(code uint16, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", mealibrt.ErrQueueFull, msg)
 	case mealibd.CodeSessionClosed:
 		return fmt.Errorf("%w (remote: %s)", mealibrt.ErrSessionClosed, msg)
+	case mealibd.CodeOverCapacity:
+		return fmt.Errorf("%w (remote: %s)", mealibrt.ErrOverCapacity, msg)
 	default:
 		return fmt.Errorf("client: server error: %s", msg)
 	}

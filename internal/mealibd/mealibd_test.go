@@ -823,3 +823,81 @@ func TestSubmissionOrderPreserved(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteOverCapacityError checks the typed over-capacity sentinel
+// crosses the wire, and that it stays distinct from the quota sentinel:
+// with out-of-core off, an allocation past the stack's physical capacity
+// is a capacity fact, not a quota decision. With staging carved out, the
+// same allocation succeeds host-backed and the session's stats report the
+// virtual/resident split.
+func TestRemoteOverCapacityError(t *testing.T) {
+	startSmall := func(t *testing.T, staging units.Bytes) string {
+		t.Helper()
+		rcfg := mealibrt.DefaultConfig()
+		rcfg.Driver.DataSize = 1 * units.MiB
+		rcfg.Driver.StagingSize = staging
+		rt, err := mealibrt.New(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := mealibd.New(mealibd.Config{Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := filepath.Join(t.TempDir(), "mealibd.sock")
+		ln, err := net.Listen("unix", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		t.Cleanup(func() {
+			if err := srv.Close(); err != nil {
+				t.Errorf("server close: %v", err)
+			}
+			if err := <-done; err != nil {
+				t.Errorf("Serve returned %v, want nil on clean shutdown", err)
+			}
+		})
+		return addr
+	}
+
+	t.Run("no staging", func(t *testing.T) {
+		addr := startSmall(t, 0)
+		cl, err := client.Dial(client.Config{Network: "unix", Addr: addr, Tenant: "big"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		_, err = cl.Alloc(2 * units.MiB) // twice the 1 MiB data space
+		if !errors.Is(err, mealibrt.ErrOverCapacity) {
+			t.Fatalf("over-capacity alloc: got %v, want ErrOverCapacity", err)
+		}
+		if errors.Is(err, mealibrt.ErrQuotaExceeded) {
+			t.Fatalf("over-capacity alloc must not read as a quota error: %v", err)
+		}
+	})
+
+	t.Run("staging enables host-backed", func(t *testing.T) {
+		addr := startSmall(t, 128*units.KiB)
+		cl, err := client.Dial(client.Config{Network: "unix", Addr: addr, Tenant: "big"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		b, err := cl.Alloc(2 * units.MiB)
+		if err != nil {
+			t.Fatalf("host-backed alloc with staging on: %v", err)
+		}
+		st := fetchStats(t, cl)
+		if st.Session.VirtualBytes != 2*units.MiB {
+			t.Errorf("VirtualBytes = %d, want %d", st.Session.VirtualBytes, 2*units.MiB)
+		}
+		if st.Session.ResidentBytes != 0 {
+			t.Errorf("ResidentBytes = %d, want 0 for a host-backed buffer", st.Session.ResidentBytes)
+		}
+		if err := b.Free(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

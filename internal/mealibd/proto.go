@@ -51,6 +51,7 @@ const (
 	CodeQuotaExceeded
 	CodeQueueFull
 	CodeSessionClosed
+	CodeOverCapacity
 )
 
 // Element kinds for store/load payloads.

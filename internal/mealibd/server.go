@@ -215,6 +215,8 @@ func errReply(err error) []byte {
 		code = CodeQueueFull
 	case errors.Is(err, mealibrt.ErrSessionClosed):
 		code = CodeSessionClosed
+	case errors.Is(err, mealibrt.ErrOverCapacity):
+		code = CodeOverCapacity
 	}
 	e := &Enc{}
 	e.U8(ReplyErr)

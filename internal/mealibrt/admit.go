@@ -46,19 +46,35 @@ func (r *Runtime) blockedLocked(p *Plan) bool {
 	if s := p.sess; s != nil && s.cfg.MaxInFlight > 0 && s.inflight >= s.cfg.MaxInFlight {
 		return true
 	}
-	if r.cfg.WavePipeline {
-		// Conflicting flights are admitted; their waves gate on the
-		// producers' progress (pipeline.go).
+	if r.cfg.WavePipeline && p.ooc == nil {
+		// Conflicting gated flights are admitted; their waves gate on the
+		// producers' progress (pipeline.go). A gateless flight (an
+		// out-of-core chunk schedule) exposes no wave stream to gate
+		// behind, so conflicts with one still block admission.
+		for _, fl := range r.inflight {
+			if fl.gate == nil && flightSpansConflict(p, fl) {
+				return true
+			}
+		}
 		return false
 	}
+	// No pipelining — or an out-of-core plan, whose staged chunk schedule
+	// runs gateless and must serialize behind every conflicting flight.
 	for _, fl := range r.inflight {
-		if spansOverlap(p.writes, fl.writes) ||
-			spansOverlap(p.writes, fl.reads) ||
-			spansOverlap(p.reads, fl.writes) {
+		if flightSpansConflict(p, fl) {
 			return true
 		}
 	}
 	return false
+}
+
+// flightSpansConflict reports a dependence between a plan awaiting admission
+// and an in-flight descriptor (admission write sets: the staging region
+// counts for out-of-core plans).
+func flightSpansConflict(p *Plan, fl *flight) bool {
+	return spansOverlap(p.admWrites, fl.writes) ||
+		spansOverlap(p.admWrites, fl.reads) ||
+		spansOverlap(p.reads, fl.writes)
 }
 
 // admitNowLocked reports whether a fresh submission may bypass the queue:
@@ -74,7 +90,7 @@ func (r *Runtime) admitNowLocked(p *Plan) bool {
 		if w.tenant == p.tenant() {
 			return false
 		}
-		if !r.cfg.WavePipeline && plansConflict(p, w.p) {
+		if (!r.cfg.WavePipeline || p.ooc != nil || w.p.ooc != nil) && plansConflict(p, w.p) {
 			return false
 		}
 	}
@@ -82,9 +98,9 @@ func (r *Runtime) admitNowLocked(p *Plan) bool {
 }
 
 func plansConflict(a, b *Plan) bool {
-	return spansOverlap(a.writes, b.writes) ||
-		spansOverlap(a.writes, b.reads) ||
-		spansOverlap(a.reads, b.writes)
+	return spansOverlap(a.admWrites, b.admWrites) ||
+		spansOverlap(a.admWrites, b.reads) ||
+		spansOverlap(a.reads, b.admWrites)
 }
 
 func spansOverlap(a, b []tdlcheck.Span) bool {
@@ -171,8 +187,8 @@ func (r *Runtime) pickLocked() *waiter {
 // with mu held.
 func (r *Runtime) registerFlightLocked(p *Plan) *flight {
 	r.seq++
-	fl := &flight{reads: p.reads, writes: p.writes, start: r.clock, seq: r.seq, sess: p.sess}
-	if r.cfg.WavePipeline {
+	fl := &flight{reads: p.reads, writes: p.admWrites, start: r.clock, seq: r.seq, sess: p.sess}
+	if r.cfg.WavePipeline && p.ooc == nil {
 		fl.gate = &flightGate{r: r, fl: fl}
 		for _, g := range r.inflight {
 			if g.gate != nil && flightsConflict(fl, g) {

@@ -1,0 +1,185 @@
+package mealibrt
+
+import (
+	"fmt"
+
+	"mealib/internal/accel"
+	"mealib/internal/analysis/tdlcheck"
+	"mealib/internal/units"
+)
+
+// Out-of-core schedule driver. An out-of-core plan's descriptor names
+// host-backed buffers the accelerators cannot reach; plan lowering
+// (accel.PlanOOC) split it into chunks whose window extents are relocated
+// into the double-buffered staging region, and this file executes that
+// schedule: stage in, execute, write back, chunk by chunk, with chunk N+1's
+// stage-in prefetched — both functionally, on a real goroutine, and in the
+// model, on the inbound link timeline — under chunk N's execution whenever
+// the schedule marked it legal. Admission already serialised the flight
+// against everything conflicting (including the staging region itself, via
+// Plan.admWrites), so the only concurrency inside a schedule is the one the
+// Prefetchable flags license.
+//
+// Model time is a three-timeline pipeline per the overlap argument of
+// libhclooc (PAPERS.md): the host↔stack link is full duplex, so stage-ins
+// occupy an inbound timeline and write-backs an outbound one, while chunk
+// executions serialise on the accelerator timeline (each paying the
+// per-launch descriptor setup). A staging half is reusable once its
+// previous occupant's write-back drains; a non-prefetchable chunk's
+// stage-in additionally waits for the whole previous chunk to finish. With
+// Config.NoPrefetch every stage-in waits that way, which is exactly the
+// synchronous baseline the BENCH_OOC differential measures.
+
+// oocSpans reports whether any span lives in the host-backed window.
+func (r *Runtime) oocSpans(spans []tdlcheck.Span) bool {
+	for _, sp := range spans {
+		if sp.Bytes > 0 && r.driver.InHostWindow(sp.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// stageIn copies a chunk's host extents into their staging slots. Every
+// extent is copied, write-only ones included, so stride gaps inside an
+// extent round-trip unchanged.
+func (r *Runtime) stageIn(ch *accel.OOCChunk) error {
+	for _, ext := range ch.Extents {
+		src, err := r.space.ViewBytes(ext.Host, int(ext.Bytes))
+		if err != nil {
+			return fmt.Errorf("mealibrt: ooc stage-in: %w", err)
+		}
+		dst, err := r.space.ViewBytes(ext.Staged, int(ext.Bytes))
+		if err != nil {
+			return fmt.Errorf("mealibrt: ooc stage-in: %w", err)
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// writeBack copies a chunk's written extents from staging back to the host.
+func (r *Runtime) writeBack(ch *accel.OOCChunk) error {
+	for _, ext := range ch.Extents {
+		if !ext.Out {
+			continue
+		}
+		src, err := r.space.ViewBytes(ext.Staged, int(ext.Bytes))
+		if err != nil {
+			return fmt.Errorf("mealibrt: ooc write-back: %w", err)
+		}
+		dst, err := r.space.ViewBytes(ext.Host, int(ext.Bytes))
+		if err != nil {
+			return fmt.Errorf("mealibrt: ooc write-back: %w", err)
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// runOOC drives the plan's chunk schedule and returns the aggregate report.
+// Called from Submit's flight goroutine with the flight registered and the
+// link held; the descriptor command slot at p.basePA is reused serially for
+// every chunk.
+func (r *Runtime) runOOC(p *Plan) (*accel.Report, error) {
+	sched := p.ooc
+	acfg := r.layer.Config()
+	agg := accel.NewReport()
+	chunks := sched.Chunks
+	// Timeline frontiers (model seconds from the flight's start).
+	var inLink, outLink, accelT units.Seconds
+	var halfFree [2]units.Seconds
+	var prevDone units.Seconds
+	var stageE units.Joules
+	// pf carries the in-progress prefetch of the next chunk's stage-in.
+	var pf chan error
+	drainPF := func() {
+		if pf != nil {
+			<-pf
+			pf = nil
+		}
+	}
+	for i, ch := range chunks {
+		// Functional stage-in: join the prefetch launched under the
+		// previous chunk's execution, or copy synchronously.
+		if pf != nil {
+			if err := <-pf; err != nil {
+				pf = nil
+				return nil, err
+			}
+			pf = nil
+		} else if err := r.stageIn(ch); err != nil {
+			return nil, err
+		}
+		// Model stage-in on the inbound link: after the link frees up and
+		// the chunk's staging half drains, and — when the stage-in may not
+		// overlap the previous chunk (data dependence, or NoPrefetch) —
+		// after the previous chunk completes outright.
+		tIn, eIn := acfg.StagingCost(ch.StageInBytes)
+		sIn := inLink
+		if halfFree[ch.Half] > sIn {
+			sIn = halfFree[ch.Half]
+		}
+		if i > 0 && (r.cfg.NoPrefetch || !ch.Prefetchable) {
+			if prevDone > sIn {
+				sIn = prevDone
+			}
+		}
+		inDone := sIn + tIn
+		inLink = inDone
+		stageE += eIn
+		// Launch the next chunk's prefetch before executing: it reads host
+		// extents disjoint from this chunk's write-backs (that is what
+		// Prefetchable certifies) and fills the other staging half, whose
+		// previous occupant was already written back.
+		if next := i + 1; next < len(chunks) && !r.cfg.NoPrefetch && chunks[next].Prefetchable {
+			pf = make(chan error, 1)
+			nc := chunks[next]
+			go func() { pf <- r.stageIn(nc) }()
+		}
+		// Execute the rebased chunk descriptor out of the plan's slot.
+		rep, err := r.layer.RunPlain(r.space, ch.Desc, p.basePA)
+		if err != nil {
+			drainPF()
+			return nil, fmt.Errorf("mealibrt: ooc chunk %d: %w", i, err)
+		}
+		execStart := accelT
+		if inDone > execStart {
+			execStart = inDone
+		}
+		execDone := execStart + r.cfg.DescriptorSetupLatency + rep.Time
+		accelT = execDone
+		// Write back on the outbound link.
+		if err := r.writeBack(ch); err != nil {
+			drainPF()
+			return nil, err
+		}
+		tOut, eOut := acfg.StagingCost(ch.WriteBackBytes)
+		wbStart := outLink
+		if execDone > wbStart {
+			wbStart = execDone
+		}
+		wbDone := wbStart + tOut
+		outLink = wbDone
+		stageE += eOut
+		// The chunk's half is reusable once its write-back has drained.
+		halfFree[ch.Half] = wbDone
+		prevDone = wbDone
+		agg.Merge(rep)
+	}
+	// End to end, the flight spans until both the accelerator and the
+	// outbound link drain; the per-chunk Times summed by Merge are replaced
+	// with the pipelined total.
+	total := accelT
+	if outLink > total {
+		total = outLink
+	}
+	agg.Time = total
+	agg.Energy += stageE
+	agg.OOCChunks = int64(len(chunks))
+	agg.StagedBytes = sched.StageInBytes + sched.WriteBackBytes
+	r.mOOCLaunches.Add(1)
+	r.mOOCChunks.Add(int64(len(chunks)))
+	r.mOOCStaged.Add(int64(sched.StageInBytes + sched.WriteBackBytes))
+	return agg, nil
+}

@@ -13,10 +13,12 @@ package mealibrt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"mealib/internal/accel"
+	"mealib/internal/alloc"
 	"mealib/internal/analysis/tdlcheck"
 	"mealib/internal/cpu"
 	"mealib/internal/descriptor"
@@ -60,6 +62,16 @@ type Config struct {
 	// through Plan.Submit (0 = unlimited). Submissions past the cap block
 	// in admission until a flight completes.
 	MaxInFlight int
+	// NoOOC disables out-of-core execution even when the driver has a
+	// staging region: over-capacity MemAllocs fail with ErrOverCapacity
+	// instead of falling back to host-backed buffers.
+	NoOOC bool
+	// NoPrefetch runs out-of-core chunk schedules synchronously — stage in,
+	// execute, write back, one chunk at a time — instead of prefetching the
+	// next chunk's tiles under the current chunk's execution. Results are
+	// bit-identical; only the model-time overlap differs (the differential
+	// benchmarks measure exactly this).
+	NoPrefetch bool
 	// WavePipeline admits conflicting descriptors immediately and gates
 	// them at wave granularity instead of serializing whole launches: a
 	// dependent launch's first waves start as the producer's last waves
@@ -112,6 +124,10 @@ type Runtime struct {
 	mSubmits  *telemetry.Counter
 	mStalls   *telemetry.Counter
 	mInflight *telemetry.Gauge
+	// out-of-core accounting: staged launches, chunks, and link bytes.
+	mOOCLaunches *telemetry.Counter
+	mOOCChunks   *telemetry.Counter
+	mOOCStaged   *telemetry.Counter
 	// cond (bound to mu) wakes admission waiters when a flight completes.
 	cond *sync.Cond
 	// mu guards every field below: the coherence/verification state and
@@ -214,6 +230,9 @@ func New(cfg *Config) (*Runtime, error) {
 	rt.mSubmits = reg.Counter("rt.submits")
 	rt.mStalls = reg.Counter("rt.admission_stalls")
 	rt.mInflight = reg.Gauge("rt.inflight")
+	rt.mOOCLaunches = reg.Counter("rt.ooc_launches")
+	rt.mOOCChunks = reg.Counter("rt.ooc_chunks")
+	rt.mOOCStaged = reg.Counter("rt.ooc_staged_bytes")
 	rt.cond = sync.NewCond(&rt.mu)
 	return rt, nil
 }
@@ -265,6 +284,10 @@ type Buffer struct {
 	// Session buffers trade the legacy fail-fast link-controller semantics
 	// for blocking span-conflict waits (session.go).
 	sess *Session
+	// host marks a host-backed (non-resident) buffer: the CPU reaches it
+	// normally, but a descriptor naming it is lowered into chunked staged
+	// launches (ooc.go) instead of executing directly.
+	host bool
 }
 
 // VA returns the buffer's host virtual address.
@@ -276,8 +299,39 @@ func (b *Buffer) PA() phys.Addr { return b.pa }
 // Size returns the requested buffer size.
 func (b *Buffer) Size() units.Bytes { return b.size }
 
+// Resident reports whether the buffer lives in stack memory. Host-backed
+// (out-of-core) buffers return false: they occupy host DRAM and reach the
+// accelerators only through staged chunk launches.
+func (b *Buffer) Resident() bool { return !b.host }
+
+// allocAuto is the residency-aware allocation path shared by the runtime
+// and session MemAllocs: try the requested stack first, and when the
+// request exceeds the stack's physical capacity (alloc.ErrTooLarge — a
+// hardware fact no amount of freeing cures), fall back to a host-backed
+// buffer that out-of-core execution will stage through stack tiles. The
+// fallback needs a staging region; without one (or with Config.NoOOC) the
+// over-capacity request fails with ErrOverCapacity.
+func (r *Runtime) allocAuto(stack int, n units.Bytes) (vm.VAddr, phys.Addr, bool, error) {
+	va, pa, err := r.driver.AllocDataOn(stack, n)
+	if err == nil {
+		return va, pa, false, nil
+	}
+	if !errors.Is(err, alloc.ErrTooLarge) {
+		return 0, 0, false, err
+	}
+	if _, staging := r.driver.Staging(); staging == 0 || r.cfg.NoOOC {
+		return 0, 0, false, fmt.Errorf("%w: %v exceeds the %v data space and out-of-core execution is disabled",
+			ErrOverCapacity, n, r.cfg.Driver.DataSize)
+	}
+	va, pa, err = r.driver.AllocHost(n)
+	return va, pa, true, err
+}
+
 // MemAlloc reserves a physically contiguous buffer in the local memory
-// stack's data space (mealib_mem_alloc).
+// stack's data space (mealib_mem_alloc). A request larger than the data
+// space itself falls back to a host-backed out-of-core buffer when the
+// runtime has a staging region (see Config.Driver.StagingSize); with
+// out-of-core disabled it fails with ErrOverCapacity.
 func (r *Runtime) MemAlloc(n units.Bytes) (*Buffer, error) {
 	return r.MemAllocOn(0, n)
 }
@@ -293,11 +347,28 @@ func (r *Runtime) MemAllocOn(stack int, n units.Bytes) (*Buffer, error) {
 	if err := r.hostAccess(); err != nil {
 		return nil, err
 	}
-	va, pa, err := r.driver.AllocDataOn(stack, n)
+	va, pa, host, err := r.allocAuto(stack, n)
 	if err != nil {
 		return nil, err
 	}
-	return &Buffer{rt: r, va: va, pa: pa, size: n}, nil
+	return &Buffer{rt: r, va: va, pa: pa, size: n, host: host}, nil
+}
+
+// MemAllocHost reserves a host-backed buffer unconditionally, regardless of
+// whether the request would fit stack memory. Useful for keeping cold data
+// out of the stack on purpose.
+func (r *Runtime) MemAllocHost(n units.Bytes) (*Buffer, error) {
+	if err := r.hostAccess(); err != nil {
+		return nil, err
+	}
+	if _, staging := r.driver.Staging(); staging == 0 || r.cfg.NoOOC {
+		return nil, fmt.Errorf("%w: host-backed allocation requires out-of-core execution", ErrOverCapacity)
+	}
+	va, pa, err := r.driver.AllocHost(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{rt: r, va: va, pa: pa, size: n, host: true}, nil
 }
 
 // Stacks returns the number of memory stacks.
@@ -433,6 +504,17 @@ type Plan struct {
 	// reads are the spans the task graph consumes; together with writes
 	// they drive Submit's conflict admission against in-flight descriptors.
 	reads []tdlcheck.Span
+	// admWrites is what admission sees as the plan's write set: writes, plus
+	// the staging region for out-of-core plans (two staged launches must
+	// never share the staging tiles, and host accesses must stay out of a
+	// flight's tiles while it runs). retire still propagates only the real
+	// writes into the initialized set.
+	admWrites []tdlcheck.Span
+	// ooc is the chunked staged schedule of an out-of-core plan — one whose
+	// footprint names host-backed buffers — and nil for ordinary plans. An
+	// out-of-core plan's original descriptor is never executed: Submit runs
+	// the schedule's rebased chunk descriptors instead (ooc.go).
+	ooc *accel.OOCSchedule
 	// sess is the owning tenant session, nil for runtime-level plans.
 	sess *Session
 }
@@ -522,15 +604,42 @@ func (r *Runtime) accPlanDescriptor(d *descriptor.Descriptor, sess *Session) (*P
 			return nil, err
 		}
 	}
-	va, pa, err := r.driver.AllocCommand(d.Size())
+	// Residency split: a descriptor naming host-backed spans cannot execute
+	// directly (the accelerators cannot reach host DRAM) — lower it into a
+	// chunked staged schedule here, at plan time, so Submit replays the
+	// same deterministic schedule on every execution.
+	var sched *accel.OOCSchedule
+	admWrites := writes
+	if r.oocSpans(writes) || r.oocSpans(reads) {
+		stagingPA, stagingSize := r.driver.Staging()
+		if stagingSize == 0 || r.cfg.NoOOC {
+			return nil, fmt.Errorf("%w: descriptor names host-backed buffers but out-of-core execution is disabled", ErrOverCapacity)
+		}
+		half := stagingSize / 2
+		sched, err = r.layer.PlanOOC(d, r.driver.InHostWindow,
+			[2]phys.Addr{stagingPA, stagingPA + phys.Addr(half)}, half)
+		if err != nil {
+			return nil, err
+		}
+		admWrites = append([]tdlcheck.Span{{Addr: stagingPA, Bytes: stagingSize}}, writes...)
+	}
+	// An out-of-core plan's command slot holds one chunk descriptor at a
+	// time (the largest sizes it); an ordinary plan's holds the descriptor.
+	cmdBytes := d.Size()
+	if sched != nil {
+		cmdBytes = sched.MaxDescBytes
+	}
+	va, pa, err := r.driver.AllocCommand(cmdBytes)
 	if err != nil {
 		return nil, err
 	}
-	if err := d.Encode(r.space, pa); err != nil {
-		_ = r.driver.Free(va)
-		return nil, err
+	if sched == nil {
+		if err := d.Encode(r.space, pa); err != nil {
+			_ = r.driver.Free(va)
+			return nil, err
+		}
 	}
-	p := &Plan{rt: r, desc: d, baseVA: va, basePA: pa, writes: writes, reads: reads, sess: sess}
+	p := &Plan{rt: r, desc: d, baseVA: va, basePA: pa, writes: writes, reads: reads, admWrites: admWrites, ooc: sched, sess: sess}
 	if sess != nil {
 		r.mu.Lock()
 		sess.plans[p] = struct{}{}
@@ -737,15 +846,19 @@ func (p *Plan) Submit(ctx context.Context) (*PendingInvocation, error) {
 	r.mu.Unlock()
 
 	ovT, ovE := InvocationOverhead(r.cfg.Host, r.cfg.DescriptorSetupLatency, p.desc.Size(), dirty)
-	if err := descriptor.WriteCommand(r.space, p.basePA, descriptor.CmdStart); err != nil {
-		if relErr := r.link.ReleaseShared(); relErr != nil {
-			err = fmt.Errorf("%w (and link release failed: %v)", err, relErr)
+	if p.ooc == nil {
+		// Out-of-core plans have no resident descriptor to ring: each chunk
+		// is encoded and doorbelled inside the schedule driver (ooc.go).
+		if err := descriptor.WriteCommand(r.space, p.basePA, descriptor.CmdStart); err != nil {
+			if relErr := r.link.ReleaseShared(); relErr != nil {
+				err = fmt.Errorf("%w (and link release failed: %v)", err, relErr)
+			}
+			r.finishFlight(fl)
+			tb.End(telemetry.SpanSubmit, 0)
+			return nil, err
 		}
-		r.finishFlight(fl)
-		tb.End(telemetry.SpanSubmit, 0)
-		return nil, err
+		tb.Instant(telemetry.SpanSubmit, "doorbell")
 	}
-	tb.Instant(telemetry.SpanSubmit, "doorbell")
 	pi := &PendingInvocation{done: make(chan struct{}), tr: r.tr}
 	go func() {
 		defer close(pi.done)
@@ -754,9 +867,12 @@ func (p *Plan) Submit(ctx context.Context) (*PendingInvocation, error) {
 		fb.Begin(telemetry.SpanFlight, "flight")
 		var rep *accel.Report
 		var err error
-		if fl.gate != nil {
+		switch {
+		case p.ooc != nil:
+			rep, err = r.runOOC(p)
+		case fl.gate != nil:
 			rep, err = r.layer.RunHooked(r.space, p.basePA, fl.gate)
-		} else {
+		default:
 			rep, err = r.layer.Run(r.space, p.basePA)
 		}
 		if relErr := r.link.ReleaseShared(); relErr != nil && err == nil {

@@ -47,11 +47,17 @@ type SessionStats struct {
 	QuotaDenied int64
 	MemUsed     units.Bytes
 	MemQuota    units.Bytes
-	Inflight    int
-	Queued      int
-	AccelTime   units.Seconds
-	BytesMoved  units.Bytes
-	BytesElided units.Bytes
+	// ResidentBytes is the portion of MemUsed living in stack memory;
+	// VirtualBytes is the total live footprint including host-backed
+	// (out-of-core) buffers. VirtualBytes == MemUsed: the quota bounds the
+	// tenant's whole footprint, resident or not.
+	ResidentBytes units.Bytes
+	VirtualBytes  units.Bytes
+	Inflight      int
+	Queued        int
+	AccelTime     units.Seconds
+	BytesMoved    units.Bytes
+	BytesElided   units.Bytes
 }
 
 // Session is one tenant. All mutable state is guarded by the runtime's mu.
@@ -59,16 +65,19 @@ type Session struct {
 	rt  *Runtime
 	cfg SessionConfig
 	// guarded by rt.mu:
-	closed   bool
-	memUsed  units.Bytes
-	buffers  map[*Buffer]struct{}
-	plans    map[*Plan]struct{}
-	inflight int
-	queued   int
-	stats    SessionStats
+	closed bool
+	// memUsed is the tenant's total live footprint (what the quota bounds);
+	// memResident the stack-resident portion of it.
+	memUsed     units.Bytes
+	memResident units.Bytes
+	buffers     map[*Buffer]struct{}
+	plans       map[*Plan]struct{}
+	inflight    int
+	queued      int
+	stats       SessionStats
 	// metrics handles (nil-safe when telemetry is disabled):
 	mSubmits, mStalls, mQueueFull, mQuotaDenied *telemetry.Counter
-	gMemUsed, gInflight                         *telemetry.Gauge
+	gMemUsed, gMemResident, gInflight           *telemetry.Gauge
 }
 
 // NewSession opens a tenant session. Names need not be unique, but tenants
@@ -90,6 +99,7 @@ func (r *Runtime) NewSession(cfg SessionConfig) (*Session, error) {
 		mQueueFull:   reg.Counter(pre + "queue_full"),
 		mQuotaDenied: reg.Counter(pre + "quota_denied"),
 		gMemUsed:     reg.Gauge(pre + "mem_used"),
+		gMemResident: reg.Gauge(pre + "mem_resident"),
 		gInflight:    reg.Gauge(pre + "inflight"),
 	}, nil
 }
@@ -108,12 +118,17 @@ func (s *Session) Stats() SessionStats {
 	st := s.stats
 	st.MemUsed = s.memUsed
 	st.MemQuota = s.cfg.MemQuota
+	st.ResidentBytes = s.memResident
+	st.VirtualBytes = s.memUsed
 	st.Inflight = s.inflight
 	st.Queued = s.queued
 	return st
 }
 
 // MemAlloc reserves a quota-accounted buffer in the session's namespace.
+// Requests past the stack's physical capacity fall back to host-backed
+// out-of-core buffers when the runtime has a staging region — the quota
+// bounds virtual (total) bytes either way.
 func (s *Session) MemAlloc(n units.Bytes) (*Buffer, error) {
 	return s.MemAllocOn(0, n)
 }
@@ -122,6 +137,26 @@ func (s *Session) MemAlloc(n units.Bytes) (*Buffer, error) {
 // charged in requested bytes and reserved before the driver call, so
 // concurrent allocations cannot oversubscribe it.
 func (s *Session) MemAllocOn(stack int, n units.Bytes) (*Buffer, error) {
+	return s.alloc(n, func(r *Runtime) (vm.VAddr, phys.Addr, bool, error) {
+		return r.allocAuto(stack, n)
+	})
+}
+
+// MemAllocHost reserves a host-backed (non-resident) buffer unconditionally;
+// see Runtime.MemAllocHost.
+func (s *Session) MemAllocHost(n units.Bytes) (*Buffer, error) {
+	return s.alloc(n, func(r *Runtime) (vm.VAddr, phys.Addr, bool, error) {
+		if _, staging := r.driver.Staging(); staging == 0 || r.cfg.NoOOC {
+			return 0, 0, false, fmt.Errorf("%w: host-backed allocation requires out-of-core execution", ErrOverCapacity)
+		}
+		va, pa, err := r.driver.AllocHost(n)
+		return va, pa, true, err
+	})
+}
+
+// alloc is the shared quota-charge/driver-call/rollback sequence behind the
+// session allocators.
+func (s *Session) alloc(n units.Bytes, driverAlloc func(*Runtime) (vm.VAddr, phys.Addr, bool, error)) (*Buffer, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mealibrt: non-positive allocation %d", n)
 	}
@@ -142,7 +177,7 @@ func (s *Session) MemAllocOn(stack int, n units.Bytes) (*Buffer, error) {
 	s.memUsed += n
 	s.gMemUsed.Set(int64(s.memUsed))
 	r.mu.Unlock()
-	va, pa, err := r.driver.AllocDataOn(stack, n)
+	va, pa, host, err := driverAlloc(r)
 	if err != nil {
 		r.mu.Lock()
 		s.memUsed -= n
@@ -150,9 +185,13 @@ func (s *Session) MemAllocOn(stack int, n units.Bytes) (*Buffer, error) {
 		r.mu.Unlock()
 		return nil, err
 	}
-	b := &Buffer{rt: r, va: va, pa: pa, size: n, sess: s}
+	b := &Buffer{rt: r, va: va, pa: pa, size: n, sess: s, host: host}
 	r.mu.Lock()
 	s.buffers[b] = struct{}{}
+	if !host {
+		s.memResident += n
+		s.gMemResident.Set(int64(s.memResident))
+	}
 	r.mu.Unlock()
 	return b, nil
 }
@@ -176,6 +215,10 @@ func (s *Session) MemFree(b *Buffer) error {
 	delete(s.buffers, b)
 	s.memUsed -= b.size
 	s.gMemUsed.Set(int64(s.memUsed))
+	if !b.host {
+		s.memResident -= b.size
+		s.gMemResident.Set(int64(s.memResident))
+	}
 	// The range may be reallocated: whatever was written there no longer
 	// counts as initialized data for the read-before-write verifier.
 	r.initialized.sub(span)
@@ -200,7 +243,7 @@ func (r *Runtime) spanBusyLocked(span tdlcheck.Span, write bool) bool {
 		}
 	}
 	for _, w := range r.waiters {
-		if spansOverlap(one, w.p.writes) {
+		if spansOverlap(one, w.p.admWrites) {
 			return true
 		}
 		if write && spansOverlap(one, w.p.reads) {
@@ -313,7 +356,9 @@ func (s *Session) Close() error {
 	s.plans = make(map[*Plan]struct{})
 	s.buffers = make(map[*Buffer]struct{})
 	s.memUsed = 0
+	s.memResident = 0
 	s.gMemUsed.Set(0)
+	s.gMemResident.Set(0)
 	r.mu.Unlock()
 	var firstErr error
 	for _, va := range vas {

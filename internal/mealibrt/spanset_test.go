@@ -161,3 +161,77 @@ func TestSpanSetMatchesNaive(t *testing.T) {
 		t.Fatalf("set covers %d bytes, naive map says %d", total, len(covered))
 	}
 }
+
+// TestSpanSetSubEdges pins the adjacency and zero-length corners of sub:
+// removal treats touching intervals as disjoint (unlike add, where adjacency
+// merges), zero- and negative-length removals are no-ops, and removals whose
+// boundaries land exactly on interval edges leave no empty remnants.
+func TestSpanSetSubEdges(t *testing.T) {
+	build := func(spans ...tdlcheck.Span) *spanSet {
+		var ss spanSet
+		for _, s := range spans {
+			ss.add(s)
+		}
+		return &ss
+	}
+	cases := []struct {
+		name string
+		ss   *spanSet
+		sub  tdlcheck.Span
+		want []tdlcheck.Span
+	}{
+		// Adjacency from below: the removal ends exactly where the span
+		// begins. add would merge these; sub must not touch it.
+		{"adjacent below untouched", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 90, Bytes: 10},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}}},
+		// Removal lands exactly between two intervals, touching both edges:
+		// neither loses a byte and no empty remnant appears between them.
+		{"touching both neighbours", build(
+			tdlcheck.Span{Addr: 100, Bytes: 10},
+			tdlcheck.Span{Addr: 120, Bytes: 10}),
+			tdlcheck.Span{Addr: 110, Bytes: 10},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}, {Addr: 120, Bytes: 10}}},
+		// Boundaries aligned with interval edges across several spans: the
+		// outer spans survive whole, the middle vanishes, and no zero-length
+		// remnant is spliced in at either edge.
+		{"exact multi-span cut", build(
+			tdlcheck.Span{Addr: 100, Bytes: 10},
+			tdlcheck.Span{Addr: 120, Bytes: 10},
+			tdlcheck.Span{Addr: 140, Bytes: 10}),
+			tdlcheck.Span{Addr: 110, Bytes: 30},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}, {Addr: 140, Bytes: 10}}},
+		// One-byte removals at each edge and in the middle of one interval.
+		{"single byte head", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 100, Bytes: 1},
+			[]tdlcheck.Span{{Addr: 101, Bytes: 9}}},
+		{"single byte tail", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 109, Bytes: 1},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 9}}},
+		{"single byte middle", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 105, Bytes: 1},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 5}, {Addr: 106, Bytes: 4}}},
+		// Zero- and negative-length removals are no-ops wherever they land.
+		{"zero length interior", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 105, Bytes: 0},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}}},
+		{"zero length at end", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 110, Bytes: 0},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}}},
+		{"negative length", build(tdlcheck.Span{Addr: 100, Bytes: 10}),
+			tdlcheck.Span{Addr: 100, Bytes: -4},
+			[]tdlcheck.Span{{Addr: 100, Bytes: 10}}},
+		// Removing from an empty set and removing a superset of everything.
+		{"empty set", build(), tdlcheck.Span{Addr: 100, Bytes: 10}, nil},
+		{"superset clears all", build(
+			tdlcheck.Span{Addr: 100, Bytes: 10},
+			tdlcheck.Span{Addr: 200, Bytes: 10}),
+			tdlcheck.Span{Addr: 0, Bytes: 1000}, nil},
+	}
+	for _, tc := range cases {
+		tc.ss.sub(tc.sub)
+		if !spansEqual(tc.ss.all(), tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.ss.all(), tc.want)
+		}
+	}
+}

@@ -97,6 +97,15 @@ type Driver struct {
 	// of a multi-tenant runtime allocate and free through one driver.
 	mu   sync.Mutex
 	next VAddr // bump-pointer virtual allocator
+	// Staging region carved from stack 0 (see Config.StagingSize).
+	stagingPA   phys.Addr
+	stagingSize units.Bytes
+	// Host-backed window state (host.go). hostBase is fixed at install
+	// time; hostNext, hostUsed and hostFree are guarded by mu.
+	hostBase phys.Addr
+	hostNext phys.Addr
+	hostUsed units.Bytes
+	hostFree map[units.Bytes][]phys.Addr
 }
 
 // Config describes the physical carve-outs handed to the driver at install
@@ -111,6 +120,12 @@ type Config struct {
 	CmdSize  units.Bytes
 	// Stacks is the number of memory stacks (0 or 1 means one).
 	Stacks int
+	// StagingSize, when non-zero, carves a double-buffered staging region
+	// out of stack 0's data space at install time. The runtime uses it to
+	// execute descriptors over host-backed (out-of-core) buffers in
+	// stack-resident tiles; see Driver.Staging and AllocHost. Zero disables
+	// out-of-core support entirely.
+	StagingSize units.Bytes
 }
 
 // NewDriver installs the driver over the given physical space.
@@ -119,9 +134,10 @@ func NewDriver(space *phys.Space, cfg Config) (*Driver, error) {
 		cfg.Stacks = 1
 	}
 	d := &Driver{
-		space: space,
-		cfg:   cfg,
-		next:  VAddr(0x7f00_0000_0000), // mmap-style high virtual base
+		space:    space,
+		cfg:      cfg,
+		next:     VAddr(0x7f00_0000_0000), // mmap-style high virtual base
+		hostFree: make(map[units.Bytes][]phys.Addr),
 	}
 	for k := 0; k < cfg.Stacks; k++ {
 		base := cfg.DataBase + phys.Addr(units.Bytes(k)*cfg.DataSize)
@@ -136,7 +152,37 @@ func NewDriver(space *phys.Space, cfg Config) (*Driver, error) {
 		return nil, fmt.Errorf("vm: command space: %w", err)
 	}
 	d.cmd = cmd
+	// The host-backed window starts above every reserved carve-out: the
+	// remainder of the physical space models ordinary host DRAM, which the
+	// accelerators cannot reach but staging transfers can read and write.
+	end := cfg.DataBase + phys.Addr(units.Bytes(cfg.Stacks)*cfg.DataSize)
+	if cmdEnd := cfg.CmdBase + phys.Addr(cfg.CmdSize); cmdEnd > end {
+		end = cmdEnd
+	}
+	d.hostBase = phys.Addr(roundPages(units.Bytes(end)) + PageSize)
+	d.hostNext = d.hostBase
+	if cfg.StagingSize > 0 {
+		// Carve the staging region out of stack 0's pool so it is accounted
+		// as used stack memory, and map it once for the driver's lifetime.
+		pa, err := d.data[0].Alloc(cfg.StagingSize)
+		if err != nil {
+			return nil, fmt.Errorf("vm: staging region: %w", err)
+		}
+		block := d.data[0].BlockSize(cfg.StagingSize)
+		if _, err := space.Map(pa, block); err != nil {
+			return nil, fmt.Errorf("vm: staging region: %w", err)
+		}
+		d.stagingPA, d.stagingSize = pa, block
+	}
 	return d, nil
+}
+
+// Staging returns the base and size of the staging region carved from stack
+// 0's data space, or (0, 0) when Config.StagingSize was zero.
+func (d *Driver) Staging() (phys.Addr, units.Bytes) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stagingPA, d.stagingSize
 }
 
 // Stacks returns the number of memory stacks.
@@ -238,6 +284,12 @@ func (d *Driver) Free(v VAddr) error {
 	}
 	if err := d.space.Unmap(m.paddr); err != nil {
 		return err
+	}
+	if m.paddr >= d.hostBase {
+		// Host-backed range: no buddy pool behind it, only the mapping.
+		d.hostUsed -= m.size
+		d.hostFree[m.size] = append(d.hostFree[m.size], m.paddr)
+		return nil
 	}
 	if m.paddr >= d.cmd.Base() && m.paddr < d.cmd.Base()+phys.Addr(d.cmd.Size()) {
 		return d.cmd.Free(m.paddr)

@@ -98,6 +98,24 @@ func WithoutFusion() Option {
 	return func(c *mealibrt.Config) { c.NoFusion = true }
 }
 
+// WithStaging carves a double-buffered staging region of n bytes out of
+// stack 0's data space and enables out-of-core execution: allocations past
+// the stack's physical capacity fall back to host-backed buffers, and
+// descriptors naming them run as chunked staged launches, bit-identical to
+// the in-core path. Zero (the default) disables out-of-core execution, and
+// over-capacity allocations fail with a typed error.
+func WithStaging(n int64) Option {
+	return func(c *mealibrt.Config) { c.Driver.StagingSize = units.Bytes(n) }
+}
+
+// WithoutPrefetch runs out-of-core chunk schedules synchronously (stage in,
+// execute, write back, one chunk at a time) instead of prefetching the next
+// chunk's tiles under the current chunk's execution. Results are
+// bit-identical; only the modelled overlap differs.
+func WithoutPrefetch() Option {
+	return func(c *mealibrt.Config) { c.NoPrefetch = true }
+}
+
 // AcceleratorConfig returns the paper's accelerator layer configuration for
 // customisation with WithAccelerator.
 func AcceleratorConfig() *accel.Config { return accel.MEALibConfig() }
