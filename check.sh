@@ -81,4 +81,19 @@ go run ./cmd/mealib-bench -ooc "$oocdir" >/dev/null
 grep -q '"bit_identical_to_host": true' "$oocdir/BENCH_OOC.json"
 grep -q prefetch_speedup "$oocdir/BENCH_OOC.json"
 
+echo "==> multi-stack graph gate (4-stack n=2^16 PageRank: bit-identity + per-link traffic conservation, -race)"
+go test -race -run 'TestGraphGatePageRankSmoke' -count=1 ./internal/apps/graph
+
+echo "==> mealib-bench -graph smoke (BENCH_GRAPH.json, verified stack sweep)"
+gdir=$(mktemp -d)
+tmpdirs="$tmpdirs $gdir"
+# The benchmark verifies every (workload, stacks) configuration bit for
+# bit against the serial reference and fails hard on divergence; here we
+# additionally check the artifact recorded the differential and the
+# multi-stack speedup column.
+go run ./cmd/mealib-bench -graph "$gdir" >/dev/null
+grep -q '"bit_identical_to_serial": true' "$gdir/BENCH_GRAPH.json"
+grep -q speedup_vs_1stack "$gdir/BENCH_GRAPH.json"
+grep -q inter_stack_bytes_per_iter "$gdir/BENCH_GRAPH.json"
+
 echo "check.sh: all gates passed"

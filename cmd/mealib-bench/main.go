@@ -10,6 +10,7 @@
 //	mealib-bench -micro .   # functional-path micro-benchmarks; writes one
 //	                        # BENCH_<op>.json per op into the directory
 //	mealib-bench -ooc .     # out-of-core benchmark; writes BENCH_OOC.json
+//	mealib-bench -graph .   # multi-stack graph benchmark; writes BENCH_GRAPH.json
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	micro := flag.String("micro", "", "run the functional-path micro-benchmarks and write BENCH_<op>.json files into this directory")
 	serve := flag.String("serve", "", "run the loaded-server benchmark (mealibd over unix sockets at 1/4/16 clients) and write BENCH_SERVE.json into this directory")
 	ooc := flag.String("ooc", "", "run the out-of-core benchmark (oversized AXPY, prefetch on/off, verified against the host reference) and write BENCH_OOC.json into this directory")
+	graphDir := flag.String("graph", "", "run the multi-stack graph benchmark (PageRank and BFS over 1/2/4 stacks, verified against the serial references) and write BENCH_GRAPH.json into this directory")
 	launches := flag.Int("launches", 64, "per-client launch count for -serve")
 	workers := flag.Int("workers", 0, "accelerator worker-pool size for -micro (0 = auto, 1 = serial)")
 	opsFlag := flag.String("ops", "", "comma-separated op filter for -micro (e.g. AXPY,FFT); empty = all ops")
@@ -74,6 +76,13 @@ func main() {
 	}
 
 	switch {
+	case *graphDir != "":
+		path, res, err := exp.WriteGraphBench(*graphDir)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+		printTable(exp.RenderGraph(res), nil)
 	case *ooc != "":
 		path, res, err := exp.WriteOOCBench(*ooc)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mealib/internal/descriptor"
+	"mealib/internal/kernels"
 	"mealib/internal/phys"
 )
 
@@ -201,11 +202,25 @@ func (a GemvArgs) shift(it IterVec) GemvArgs {
 	return a
 }
 
+// SPMV semiring selectors (kernels.SemiringPlusTimes / SemiringMinPlus).
+// The zero value is the ordinary arithmetic SpMV, so descriptors from older
+// producers keep their meaning.
+const (
+	SpmvPlusTimes = kernels.SemiringPlusTimes
+	SpmvMinPlus   = kernels.SemiringMinPlus
+)
+
 // SpmvArgs configures the SPMV accelerator (mkl_scsrgemv, zero-based CSR).
+// Semiring selects the accumulation algebra and Bias seeds each row's
+// accumulator (graph workloads fold their elementwise update into it:
+// PageRank's teleport term under plus-times, the previous distance under
+// min-plus). Zero Semiring and Bias reproduce the original y = A*x exactly.
 type SpmvArgs struct {
 	M, Cols, NNZ           int64
 	RowPtr, ColIdx, Values phys.Addr
 	X, Y                   phys.Addr
+	Semiring               int64
+	Bias                   float32
 }
 
 // Params encodes the argument block.
@@ -214,18 +229,20 @@ func (a SpmvArgs) Params() descriptor.Params {
 		i64Field(a.M), i64Field(a.Cols), i64Field(a.NNZ),
 		descriptor.AddrField(a.RowPtr), descriptor.AddrField(a.ColIdx), descriptor.AddrField(a.Values),
 		descriptor.AddrField(a.X), descriptor.AddrField(a.Y),
+		i64Field(a.Semiring), descriptor.F32Field(a.Bias),
 	}
 }
 
 // DecodeSpmvArgs decodes an SPMV argument block.
 func DecodeSpmvArgs(p descriptor.Params) (SpmvArgs, error) {
-	if len(p) != 8 {
-		return SpmvArgs{}, fmt.Errorf("accel: SPMV expects 8 parameter fields, got %d", len(p))
+	if len(p) != 10 {
+		return SpmvArgs{}, fmt.Errorf("accel: SPMV expects 10 parameter fields, got %d", len(p))
 	}
 	return SpmvArgs{
 		M: i64Of(p[0]), Cols: i64Of(p[1]), NNZ: i64Of(p[2]),
 		RowPtr: descriptor.AddrOf(p[3]), ColIdx: descriptor.AddrOf(p[4]), Values: descriptor.AddrOf(p[5]),
 		X: descriptor.AddrOf(p[6]), Y: descriptor.AddrOf(p[7]),
+		Semiring: i64Of(p[8]), Bias: descriptor.F32Of(p[9]),
 	}, nil
 }
 

@@ -25,7 +25,7 @@ func TestArgsRoundTrips(t *testing.T) {
 		t.Errorf("gemv round trip: %+v, %v", gg, err)
 	}
 
-	spmv := SpmvArgs{M: 5, Cols: 5, NNZ: 9, RowPtr: 1, ColIdx: 2, Values: 3, X: 4, Y: 5}
+	spmv := SpmvArgs{M: 5, Cols: 5, NNZ: 9, RowPtr: 1, ColIdx: 2, Values: 3, X: 4, Y: 5, Semiring: SpmvMinPlus, Bias: 2.5}
 	gs, err := DecodeSpmvArgs(spmv.Params())
 	if err != nil || gs != spmv {
 		t.Errorf("spmv round trip: %+v, %v", gs, err)

@@ -298,7 +298,15 @@ func spmvCore(s *phys.Space, a SpmvArgs) (Work, error) {
 		copy(*p, x.Data)
 		xs = *p
 	}
-	if err := kernels.SpmvCSR(int(a.M), rowPtr.Data, colIdx.Data, values.Data, xs, y.Data); err != nil {
+	// The plus-times/zero-bias fast path is the historical kernel; the
+	// semiring variant reproduces it bit for bit (same float64 accumulation
+	// order), so the split is only about keeping the common path obvious.
+	if a.Semiring == SpmvPlusTimes && a.Bias == 0 {
+		err = kernels.SpmvCSR(int(a.M), rowPtr.Data, colIdx.Data, values.Data, xs, y.Data)
+	} else {
+		err = kernels.SpmvCSRSemiring(int(a.M), rowPtr.Data, colIdx.Data, values.Data, xs, y.Data, a.Semiring, a.Bias)
+	}
+	if err != nil {
 		return Work{}, err
 	}
 	if err := y.Commit(); err != nil {

@@ -275,6 +275,10 @@ func operandsOf(op descriptor.OpCode, p descriptor.Params, counts descriptor.Loo
 			fail("SPMV: negative non-zero count %d", a.NNZ)
 			return nil
 		}
+		if a.Semiring != accel.SpmvPlusTimes && a.Semiring != accel.SpmvMinPlus {
+			fail("SPMV: unknown semiring %d", a.Semiring)
+			return nil
+		}
 		rp := new(big.Int).Add(big.NewInt(a.M), big.NewInt(1))
 		rp.Mul(rp, big.NewInt(4))
 		rpb, okr := fitBytes(rp, "SPMV: operand rowPtr", fail)

@@ -1,0 +1,204 @@
+package exp
+
+// Graph benchmark: the harness behind `mealib-bench -graph`. It runs the
+// two iterated-SpMV graph workloads — PageRank over (+,×) and BFS over
+// (min,+) — on the synthetic rgg stand-in, sharded across 1, 2 and 4
+// simulated stacks through the multistack engine, and records per
+// configuration the model iteration rate, the modeled inter-stack ghost
+// traffic per iteration, and the speedup over the 1-stack run. Every
+// configuration is verified bit for bit against the serial host reference
+// before it is written, so BENCH_GRAPH.json doubles as a sharding
+// differential smoke.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mealib/internal/apps/graph"
+	"mealib/internal/mealibrt"
+	"mealib/internal/multistack"
+	"mealib/internal/platform"
+	"mealib/internal/units"
+)
+
+// graphBench* fix the benchmark shape. The graph is a scaled-down
+// rgg_n_2_20 (2^16 nodes at the UF matrix's ~13 average degree) so the
+// bench stays interactive; the paper-scale n=2^20 differential runs in the
+// test suite (TestPaperScaleGraph).
+const (
+	graphBenchN        = 1 << 16
+	graphBenchDeg      = 13
+	graphBenchAlpha    = float32(0.85)
+	graphBenchPRIters  = 8
+	graphBenchBFSIters = 64 // relaxation-round cap; fixed point may come first
+	graphBenchSource   = 0
+	graphBenchData     = 256 * units.MiB
+)
+
+var graphBenchStacks = []int{1, 2, 4}
+
+// GraphRun is one (workload, stack count) benchmark row.
+type GraphRun struct {
+	Workload string `json:"workload"` // "pagerank" or "bfs"
+	Stacks   int    `json:"stacks"`
+	// Iters is the iterations executed (fixed for PageRank; BFS stops at
+	// its distance fixed point).
+	Iters int `json:"iters"`
+	// ModelTimeUs is the engine's modeled wall time: alternating compute
+	// phases (slowest shard) and exchange phases (interconnect makespan).
+	ModelTimeUs float64 `json:"model_time_us"`
+	// ModelEnergyUJ totals accelerator, overhead and inter-stack link energy.
+	ModelEnergyUJ float64 `json:"model_energy_uj"`
+	// ItersPerSec is the modeled iteration rate.
+	ItersPerSec float64 `json:"iters_per_sec"`
+	// InterStackBytesPerIter is the modeled ghost traffic one exchange moves.
+	InterStackBytesPerIter units.Bytes `json:"inter_stack_bytes_per_iter"`
+	// SpeedupVs1Stack compares per-iteration model time against the 1-stack
+	// row of the same workload.
+	SpeedupVs1Stack float64 `json:"speedup_vs_1stack"`
+	// BitIdenticalToSerial records that this configuration's result vector
+	// matched the serial host reference bit for bit.
+	BitIdenticalToSerial bool `json:"bit_identical_to_serial"`
+}
+
+// GraphBenchResult is the BENCH_GRAPH.json record.
+type GraphBenchResult struct {
+	N    int   `json:"n"`
+	NNZ  int   `json:"nnz"`
+	Seed int64 `json:"seed"`
+	// AvgDegree is the generator's target average degree.
+	AvgDegree float64    `json:"avg_degree"`
+	Runs      []GraphRun `json:"runs"`
+}
+
+// graphBenchSystem builds a fresh multi-stack system for one configuration.
+func graphBenchSystem(stacks int) (*multistack.System, error) {
+	rc := mealibrt.DefaultConfig()
+	rc.Driver.DataSize = graphBenchData
+	return multistack.New(multistack.Config{Stacks: stacks, Runtime: rc})
+}
+
+func bitsMatch(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// GraphBench runs both workloads across the stack sweep and verifies every
+// configuration against the serial references.
+func GraphBench() (*GraphBenchResult, error) {
+	adj, err := platform.RGGGraph(graphBenchN, graphBenchDeg, platform.RGGSeed)
+	if err != nil {
+		return nil, err
+	}
+	res := &GraphBenchResult{
+		N: adj.Rows, NNZ: adj.NNZ(), Seed: platform.RGGSeed, AvgDegree: graphBenchDeg,
+	}
+
+	wantPR, err := graph.PageRankSerial(adj, graphBenchAlpha, graphBenchPRIters)
+	if err != nil {
+		return nil, err
+	}
+	wantBFS, _, err := graph.BFSSerial(adj, graphBenchSource, graphBenchBFSIters)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	run := func(workload string, want []float32) error {
+		var base float64 // 1-stack per-iteration model time
+		for _, stacks := range graphBenchStacks {
+			sys, err := graphBenchSystem(stacks)
+			if err != nil {
+				return err
+			}
+			var r graph.Result
+			switch workload {
+			case "pagerank":
+				r, err = graph.PageRank(ctx, sys, adj, graphBenchAlpha, graphBenchPRIters)
+			case "bfs":
+				r, err = graph.BFS(ctx, sys, adj, graphBenchSource, graphBenchBFSIters)
+			}
+			if err != nil {
+				return fmt.Errorf("graph bench: %s on %d stacks: %w", workload, stacks, err)
+			}
+			if !bitsMatch(r.X, want) {
+				return fmt.Errorf("graph bench: %s on %d stacks diverged from the serial reference", workload, stacks)
+			}
+			perIter := float64(r.Stats.Time) / float64(r.Iters)
+			if stacks == 1 {
+				base = perIter
+			}
+			res.Runs = append(res.Runs, GraphRun{
+				Workload:               workload,
+				Stacks:                 stacks,
+				Iters:                  r.Iters,
+				ModelTimeUs:            float64(r.Stats.Time) * 1e6,
+				ModelEnergyUJ:          float64(r.Stats.Energy) * 1e6,
+				ItersPerSec:            1 / perIter,
+				InterStackBytesPerIter: r.Stats.ExchangeBytes / units.Bytes(r.Iters),
+				SpeedupVs1Stack:        base / perIter,
+				BitIdenticalToSerial:   true, // divergence aborts above
+			})
+		}
+		return nil
+	}
+	if err := run("pagerank", wantPR); err != nil {
+		return nil, err
+	}
+	if err := run("bfs", wantBFS); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteGraphBench runs the graph benchmark and writes BENCH_GRAPH.json
+// into dir.
+func WriteGraphBench(dir string) (string, *GraphBenchResult, error) {
+	res, err := GraphBench()
+	if err != nil {
+		return "", nil, err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", nil, err
+	}
+	path := filepath.Join(dir, "BENCH_GRAPH.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return "", nil, err
+	}
+	return path, res, nil
+}
+
+// RenderGraph formats the graph benchmark.
+func RenderGraph(res *GraphBenchResult) *Table {
+	rows := make([][]string, 0, len(res.Runs))
+	for _, r := range res.Runs {
+		rows = append(rows, []string{
+			r.Workload, fmt.Sprintf("%d", r.Stacks), fmt.Sprintf("%d", r.Iters),
+			f(r.ModelTimeUs), f(r.ItersPerSec),
+			fmt.Sprintf("%d", r.InterStackBytesPerIter),
+			fmt.Sprintf("%.2fx", r.SpeedupVs1Stack),
+		})
+	}
+	return &Table{
+		Title: fmt.Sprintf("Graph workloads: iterated SpMV on rgg n=%d (nnz %d, seed %d) across memory stacks",
+			res.N, res.NNZ, res.Seed),
+		Columns: []string{"Workload", "Stacks", "Iters", "Model time (us)", "Iters/s", "Bytes/iter", "Speedup vs 1"},
+		Rows:    rows,
+		Notes: []string{
+			"every configuration bit-identical to the serial host reference",
+			"bytes/iter is modeled ghost traffic (distinct remote columns referenced), not the functional whole-segment copies",
+		},
+	}
+}

@@ -36,6 +36,59 @@ func SpmvCSR(m int, rowPtr []int32, colIdx []int32, values []float32, x []float3
 	return nil
 }
 
+// Semirings accepted by SpmvCSRSemiring. Plus-times is the ordinary
+// arithmetic SpMV; min-plus (the tropical semiring) turns the same gather
+// structure into a relaxation step, which is how BFS/SSSP run as iterated
+// matrix-vector products.
+const (
+	SemiringPlusTimes int64 = iota
+	SemiringMinPlus
+)
+
+// SpmvCSRSemiring computes y over the selected semiring, seeding each row's
+// accumulator with bias:
+//
+//	plus-times: y[i] = bias + sum_k values[k]*x[colIdx[k]]
+//	min-plus:   y[i] = min(bias, min_k values[k]+x[colIdx[k]])
+//
+// Plus-times accumulates in float64 in CSR entry order, exactly like
+// SpmvCSR — with a zero bias the two are bit-identical. Min-plus works in
+// float32 directly (min is exact, no rounding order to fix). Both are
+// row-parallel; rows never share an accumulator, so results do not depend
+// on the parallel split.
+func SpmvCSRSemiring(m int, rowPtr []int32, colIdx []int32, values []float32, x []float32, y []float32, semiring int64, bias float32) error {
+	if err := checkCSR(m, rowPtr, colIdx, values, x, y); err != nil {
+		return err
+	}
+	switch semiring {
+	case SemiringPlusTimes:
+		parallelRanges(m, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum := float64(bias)
+				for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+					sum += float64(values[k]) * float64(x[colIdx[k]])
+				}
+				y[i] = float32(sum)
+			}
+		})
+	case SemiringMinPlus:
+		parallelRanges(m, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best := bias
+				for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+					if d := values[k] + x[colIdx[k]]; d < best {
+						best = d
+					}
+				}
+				y[i] = best
+			}
+		})
+	default:
+		return fmt.Errorf("kernels: spmv: unknown semiring %d", semiring)
+	}
+	return nil
+}
+
 func checkCSR(m int, rowPtr, colIdx []int32, values, x, y []float32) error {
 	if m < 0 {
 		return fmt.Errorf("kernels: spmv: negative rows %d", m)

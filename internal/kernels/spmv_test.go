@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -88,5 +89,97 @@ func TestSpmvErrors(t *testing.T) {
 	}
 	if err := SpmvCSR(3, rp, []int32{0, 2, 1, 0, 7}, v, x, y); err == nil {
 		t.Error("column index out of range must fail")
+	}
+}
+
+func TestSpmvSemiringPlusTimesMatchesSpmv(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, n := 128, 128
+	rowPtr := []int32{0}
+	var colIdx []int32
+	var values []float32
+	for i := 0; i < m; i++ {
+		for d := rng.Intn(6); d > 0; d-- {
+			colIdx = append(colIdx, int32(rng.Intn(n)))
+			values = append(values, float32(rng.NormFloat64()))
+		}
+		rowPtr = append(rowPtr, int32(len(values)))
+	}
+	x := randVec(rng, n)
+	y1 := make([]float32, m)
+	y2 := make([]float32, m)
+	if err := SpmvCSR(m, rowPtr, colIdx, values, x, y1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpmvCSRSemiring(m, rowPtr, colIdx, values, x, y2, SemiringPlusTimes, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if math.Float32bits(y1[i]) != math.Float32bits(y2[i]) {
+			t.Fatalf("row %d: semiring %v, plain %v (must be bit-identical)", i, y2[i], y1[i])
+		}
+	}
+}
+
+func TestSpmvSemiringBias(t *testing.T) {
+	rp, ci, v := smallCSR()
+	x := []float32{1, 2, 3}
+	y := make([]float32, 3)
+	if err := SpmvCSRSemiring(3, rp, ci, v, x, y, SemiringPlusTimes, 10); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{10 + 7, 10 + 6, 10 + 19}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSpmvSemiringMinPlus(t *testing.T) {
+	// Path graph 0-1-2 with unit weights plus explicit zero diagonal:
+	// one relaxation from dist = [0, inf, inf] reaches node 1.
+	rowPtr := []int32{0, 2, 5, 7}
+	colIdx := []int32{0, 1, 0, 1, 2, 1, 2}
+	values := []float32{0, 1, 1, 0, 1, 1, 0}
+	inf := float32(math.Inf(1))
+	x := []float32{0, inf, inf}
+	y := make([]float32, 3)
+	if err := SpmvCSRSemiring(3, rowPtr, colIdx, values, x, y, SemiringMinPlus, inf); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 0 || y[1] != 1 || !math.IsInf(float64(y[2]), 1) {
+		t.Fatalf("after one relaxation dist = %v, want [0 1 +inf]", y)
+	}
+	// Second relaxation reaches node 2; a third is a fixed point.
+	x, y = y, x
+	if err := SpmvCSRSemiring(3, rowPtr, colIdx, values, x, y, SemiringMinPlus, inf); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 0 || y[1] != 1 || y[2] != 2 {
+		t.Fatalf("after two relaxations dist = %v, want [0 1 2]", y)
+	}
+	x, y = y, x
+	if err := SpmvCSRSemiring(3, rowPtr, colIdx, values, x, y, SemiringMinPlus, inf); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 0 || y[1] != 1 || y[2] != 2 {
+		t.Fatalf("fixed point broken: dist = %v, want [0 1 2]", y)
+	}
+	// Min-plus with a finite bias caps every row.
+	if err := SpmvCSRSemiring(3, rowPtr, colIdx, values, x, y, SemiringMinPlus, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 0 || y[1] != 0.5 || y[2] != 0.5 {
+		t.Fatalf("biased min-plus = %v, want [0 0.5 0.5]", y)
+	}
+}
+
+func TestSpmvSemiringUnknown(t *testing.T) {
+	rp, ci, v := smallCSR()
+	x := make([]float32, 3)
+	y := make([]float32, 3)
+	if err := SpmvCSRSemiring(3, rp, ci, v, x, y, 99, 0); err == nil {
+		t.Error("unknown semiring must fail")
 	}
 }

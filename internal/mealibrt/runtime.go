@@ -114,6 +114,16 @@ type Runtime struct {
 	space  *phys.Space
 	driver *vm.Driver
 	layer  *accel.Layer
+	// layers holds one accelerator layer per memory stack (paper Figure 2:
+	// every stack carries its own logic layer). layers[0] is layer. A plan
+	// built with AccPlanDescriptorOn(k, …) runs on layers[k], so its
+	// accesses to stack-k buffers are local and everything else crosses the
+	// inter-stack links. All layers share the one link controller, space,
+	// and admission state — a multi-stack launch is N plans submitted to N
+	// layers under the same span-conflict admission.
+	layers []*accel.Layer
+	// mStackLaunches counts launches routed to each stack's layer.
+	mStackLaunches []*telemetry.Counter
 	// link arbitrates DRAM ownership between the host and the
 	// accelerators (paper §2.1).
 	link accel.LinkController
@@ -226,7 +236,23 @@ func New(cfg *Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{cfg: cfg, space: space, driver: driver, layer: layer, tr: cfg.Tracer}
+	rt.layers = []*accel.Layer{layer}
+	for k := 1; k < driver.Stacks(); k++ {
+		// Each remote stack gets its own layer instance homed there; the
+		// configs differ only in HomeStack, so every layer prices the same
+		// operation identically and only locality differs.
+		kCfg := accelCfg
+		kCfg.HomeStack = k
+		kLayer, err := accel.NewLayer(&kCfg)
+		if err != nil {
+			return nil, err
+		}
+		rt.layers = append(rt.layers, kLayer)
+	}
 	reg := cfg.Tracer.Metrics()
+	for k := range rt.layers {
+		rt.mStackLaunches = append(rt.mStackLaunches, reg.Counter(fmt.Sprintf("rt.launches.stack%d", k)))
+	}
 	rt.mSubmits = reg.Counter("rt.submits")
 	rt.mStalls = reg.Counter("rt.admission_stalls")
 	rt.mInflight = reg.Gauge("rt.inflight")
@@ -243,8 +269,16 @@ func (r *Runtime) Space() *phys.Space { return r.space }
 // Driver exposes the device driver (host-side addressing).
 func (r *Runtime) Driver() *vm.Driver { return r.driver }
 
-// Layer exposes the accelerator layer.
+// Layer exposes stack 0's accelerator layer.
 func (r *Runtime) Layer() *accel.Layer { return r.layer }
+
+// LayerOn exposes the accelerator layer of the given memory stack.
+func (r *Runtime) LayerOn(stack int) (*accel.Layer, error) {
+	if stack < 0 || stack >= len(r.layers) {
+		return nil, fmt.Errorf("mealibrt: no accelerator layer on stack %d (have %d)", stack, len(r.layers))
+	}
+	return r.layers[stack], nil
+}
 
 // Host exposes the central processor model.
 func (r *Runtime) Host() *cpu.Host { return r.cfg.Host }
@@ -402,6 +436,15 @@ func (r *Runtime) noteWrite(s tdlcheck.Span) {
 	r.initialized.add(s)
 }
 
+// noteDeviceWrite records a device-side write (stack-to-stack DMA): the
+// span joins the initialized set but the host coherence model's dirty
+// estimate is untouched — the data never entered the host caches.
+func (r *Runtime) noteDeviceWrite(s tdlcheck.Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.initialized.add(s)
+}
+
 // StoreFloat32s writes v at byte offset off through the host mapping.
 func (b *Buffer) StoreFloat32s(off units.Bytes, v []float32) error {
 	if b.sess != nil {
@@ -430,6 +473,41 @@ func (b *Buffer) LoadFloat32s(off units.Bytes, n int) ([]float32, error) {
 		return nil, err
 	}
 	return b.rt.space.LoadFloat32s(b.pa+phys.Addr(off), n)
+}
+
+// DeviceCopyFloat32s copies n float32 values from src at srcOff into dst
+// at dstOff entirely on the device side — the multi-stack exchange engine
+// uses it for stack-to-stack result-segment transfers, whose traffic and
+// energy the inter-stack interconnect model prices separately. Unlike a
+// host Load/Store round trip, the data never enters the host cache
+// hierarchy: the copy marks the destination span initialized for the
+// verifier but adds nothing to the coherence model's dirty estimate, so
+// the next launch does not pay wbinvd for it. Both buffers must be
+// stack-resident and runtime-owned (not session or host-backed).
+func (r *Runtime) DeviceCopyFloat32s(dst *Buffer, dstOff units.Bytes, src *Buffer, srcOff units.Bytes, n int) error {
+	if dst.sess != nil || src.sess != nil {
+		return fmt.Errorf("mealibrt: device copy does not take session buffers")
+	}
+	if !dst.Resident() || !src.Resident() {
+		return fmt.Errorf("mealibrt: device copy needs stack-resident buffers")
+	}
+	bytes := units.Bytes(4 * n)
+	if srcOff+bytes > src.size || dstOff+bytes > dst.size {
+		return fmt.Errorf("mealibrt: device copy of %d bytes at src+%d/dst+%d overruns %d/%d",
+			bytes, srcOff, dstOff, src.size, dst.size)
+	}
+	if err := r.hostAccess(); err != nil {
+		return err
+	}
+	v, err := r.space.LoadFloat32s(src.pa+phys.Addr(srcOff), n)
+	if err != nil {
+		return err
+	}
+	if err := r.space.StoreFloat32s(dst.pa+phys.Addr(dstOff), v); err != nil {
+		return err
+	}
+	r.noteDeviceWrite(tdlcheck.Span{Addr: dst.pa + phys.Addr(dstOff), Bytes: bytes})
+	return nil
 }
 
 // StoreComplex64s writes v at byte offset off.
@@ -517,6 +595,10 @@ type Plan struct {
 	ooc *accel.OOCSchedule
 	// sess is the owning tenant session, nil for runtime-level plans.
 	sess *Session
+	// stack selects the accelerator layer the plan launches on (the memory
+	// stack whose logic layer executes the descriptor); 0 unless the plan
+	// came from AccPlanDescriptorOn.
+	stack int
 }
 
 // AccPlan compiles a TDL program against the parameter table and encodes
@@ -567,6 +649,27 @@ func (r *Runtime) accPlanCommon(tdlSrc string, params map[string]descriptor.Para
 // through the static verifier first.
 func (r *Runtime) AccPlanDescriptor(d *descriptor.Descriptor) (*Plan, error) {
 	return r.accPlanDescriptor(d, nil)
+}
+
+// AccPlanDescriptorOn installs a descriptor that will launch on the given
+// memory stack's accelerator layer. Buffers on that stack are local to the
+// launch; everything else is billed as remote-link traffic. Out-of-core
+// lowering is a stack-0 facility (the staging region lives there), so
+// host-backed operands are rejected on other stacks.
+func (r *Runtime) AccPlanDescriptorOn(stack int, d *descriptor.Descriptor) (*Plan, error) {
+	if stack < 0 || stack >= len(r.layers) {
+		return nil, fmt.Errorf("mealibrt: no accelerator layer on stack %d (have %d)", stack, len(r.layers))
+	}
+	p, err := r.accPlanDescriptor(d, nil)
+	if err != nil {
+		return nil, err
+	}
+	if p.ooc != nil && stack != 0 {
+		_ = p.Destroy()
+		return nil, fmt.Errorf("mealibrt: out-of-core plans must launch on stack 0, not %d", stack)
+	}
+	p.stack = stack
+	return p, nil
 }
 
 func (r *Runtime) accPlanDescriptor(d *descriptor.Descriptor, sess *Session) (*Plan, error) {
@@ -839,6 +942,7 @@ func (p *Plan) Submit(ctx context.Context) (*PendingInvocation, error) {
 	// between the flight registration and the ownership transfer.
 	r.link.AcquireShared()
 	r.mSubmits.Add(1)
+	r.mStackLaunches[p.stack].Add(1)
 	if s != nil {
 		s.stats.Submits++
 		s.mSubmits.Add(1)
@@ -867,13 +971,14 @@ func (p *Plan) Submit(ctx context.Context) (*PendingInvocation, error) {
 		fb.Begin(telemetry.SpanFlight, "flight")
 		var rep *accel.Report
 		var err error
+		layer := r.layers[p.stack]
 		switch {
 		case p.ooc != nil:
 			rep, err = r.runOOC(p)
 		case fl.gate != nil:
-			rep, err = r.layer.RunHooked(r.space, p.basePA, fl.gate)
+			rep, err = layer.RunHooked(r.space, p.basePA, fl.gate)
 		default:
-			rep, err = r.layer.Run(r.space, p.basePA)
+			rep, err = layer.Run(r.space, p.basePA)
 		}
 		if relErr := r.link.ReleaseShared(); relErr != nil && err == nil {
 			err = relErr

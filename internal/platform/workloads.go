@@ -3,6 +3,7 @@ package platform
 import (
 	"mealib/internal/descriptor"
 	"mealib/internal/kernels"
+	"mealib/internal/sparse"
 	"mealib/internal/units"
 )
 
@@ -65,6 +66,24 @@ func StandardDataSets() []DataSet {
 			Load: Workload{Flops: 0, Bytes: kernels.TransposeBytes(matN, matN)},
 		},
 	}
+}
+
+// RGGSeed is the fixed seed the committed graph benchmarks use, so their
+// input graphs — and therefore BENCH_GRAPH.json — are identical run to run.
+const RGGSeed int64 = 2020
+
+// RGGGraph builds the synthetic stand-in for Table 2's rgg_n_2_20 graph:
+// a random geometric graph adjacency matrix with the paper's node count
+// and degree reachable as RGGGraph(1<<20, 13, RGGSeed).
+//
+// Determinism: sparse.RGG draws every node coordinate from a rand.Source
+// seeded with the explicit seed argument and uses no other randomness —
+// no map iteration in an order-sensitive position, no time-based seeding —
+// so the same (n, avgDegree, seed) triple produces the same matrix on
+// every run and platform. Graph benchmark results are reproducible bit
+// for bit.
+func RGGGraph(n int, avgDegree float64, seed int64) (*sparse.CSR, error) {
+	return sparse.RGG(n, avgDegree, seed)
 }
 
 // StandardWorkloads indexes the Table 2 data sets by opcode.

@@ -1,0 +1,189 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Row partitioning for multi-stack graph processing: a matrix sharded over N
+// memory stacks is split into contiguous row blocks, one per stack, so every
+// shard keeps the CSR row order of the original matrix (bit-identical
+// per-row results regardless of the partition) and the owned segment of the
+// iteration vector stays a single contiguous range. The partitioners below
+// produce nnz-balanced blocks, optionally refined to reduce the edge cut —
+// the entries whose row and column land on different stacks, which is
+// exactly the inter-stack vector-exchange traffic an iterated SpMV
+// generates.
+
+// Partition is a contiguous row-block partition of a square matrix: part k
+// owns rows [Bounds[k], Bounds[k+1]). Bounds has Parts()+1 entries, is
+// monotone non-decreasing, and spans [0, rows].
+type Partition struct {
+	Bounds []int
+}
+
+// Parts returns the number of blocks.
+func (p Partition) Parts() int { return len(p.Bounds) - 1 }
+
+// Range returns part k's half-open row range.
+func (p Partition) Range(k int) (lo, hi int) { return p.Bounds[k], p.Bounds[k+1] }
+
+// OwnerOf returns the part owning the row (rows past the last bound belong
+// to the last part; callers validate ranges).
+func (p Partition) OwnerOf(row int) int {
+	// First bound strictly above row, minus one.
+	k := sort.SearchInts(p.Bounds[1:], row+1)
+	if k >= p.Parts() {
+		k = p.Parts() - 1
+	}
+	return k
+}
+
+// Validate checks the partition against a row count.
+func (p Partition) Validate(rows int) error {
+	if len(p.Bounds) < 2 {
+		return fmt.Errorf("sparse: partition needs at least one part")
+	}
+	if p.Bounds[0] != 0 || p.Bounds[len(p.Bounds)-1] != rows {
+		return fmt.Errorf("sparse: partition bounds %v do not span [0,%d]", p.Bounds, rows)
+	}
+	for i := 1; i < len(p.Bounds); i++ {
+		if p.Bounds[i] < p.Bounds[i-1] {
+			return fmt.Errorf("sparse: partition bounds %v not monotone", p.Bounds)
+		}
+	}
+	return nil
+}
+
+// RowBlocks splits the matrix into parts contiguous row blocks balanced by
+// non-zero count: bound k is the smallest row at which the cumulative nnz
+// reaches k/parts of the total. Deterministic for a given matrix.
+func RowBlocks(m *CSR, parts int) (Partition, error) {
+	if parts < 1 {
+		return Partition{}, fmt.Errorf("sparse: non-positive part count %d", parts)
+	}
+	if parts > m.Rows && m.Rows > 0 {
+		return Partition{}, fmt.Errorf("sparse: %d parts for %d rows", parts, m.Rows)
+	}
+	total := int64(m.NNZ())
+	bounds := make([]int, parts+1)
+	bounds[parts] = m.Rows
+	row := 0
+	for k := 1; k < parts; k++ {
+		target := total * int64(k) / int64(parts)
+		for row < m.Rows && int64(m.RowPtr[row]) < target {
+			row++
+		}
+		// Never leave an earlier part more rows than remain for later ones.
+		if maxRow := m.Rows - (parts - k); row > maxRow {
+			row = maxRow
+		}
+		bounds[k] = row
+	}
+	for k := 1; k < parts; k++ {
+		if bounds[k] < bounds[k-1] {
+			bounds[k] = bounds[k-1]
+		}
+	}
+	return Partition{Bounds: bounds}, nil
+}
+
+// EdgeCut counts the stored entries whose row and column belong to
+// different parts — for an adjacency matrix, the edges that cross stacks
+// and therefore the per-iteration exchange volume of a sharded SpMV.
+func EdgeCut(m *CSR, p Partition) int64 {
+	var cut int64
+	for i := 0; i < m.Rows; i++ {
+		owner := p.OwnerOf(i)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if p.OwnerOf(int(m.ColIdx[k])) != owner {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// refineTolerance bounds how far greedy refinement may unbalance a part:
+// each block must keep at least (1-refineTolerance) and at most
+// (1+refineTolerance) of the equal nnz share.
+const refineTolerance = 0.25
+
+// RefineGreedy slides each block boundary within ±window rows to the
+// position crossed by the fewest entries, keeping every block's nnz within
+// refineTolerance of the equal share. Boundaries are refined left to right
+// in one sweep; ties resolve to the smallest row, so the result is
+// deterministic. Blocks stay contiguous — the refinement reduces the edge
+// cut (never the row order), so sharded results remain bit-identical to the
+// unrefined partition.
+func RefineGreedy(m *CSR, p Partition, window int) (Partition, error) {
+	if err := p.Validate(m.Rows); err != nil {
+		return Partition{}, err
+	}
+	if window <= 0 {
+		window = 1024
+	}
+	parts := p.Parts()
+	out := Partition{Bounds: append([]int(nil), p.Bounds...)}
+	if parts < 2 || m.NNZ() == 0 {
+		return out, nil
+	}
+	share := float64(m.NNZ()) / float64(parts)
+	minShare := int64((1 - refineTolerance) * share)
+	maxShare := int64((1 + refineTolerance) * share)
+	nnzBetween := func(lo, hi int) int64 { return int64(m.RowPtr[hi]) - int64(m.RowPtr[lo]) }
+	for k := 1; k < parts; k++ {
+		lo := out.Bounds[k-1] + 1
+		if b := out.Bounds[k] - window; b > lo {
+			lo = b
+		}
+		hi := out.Bounds[k+1] - 1
+		if b := out.Bounds[k] + window; b < hi {
+			hi = b
+		}
+		if lo > hi {
+			continue
+		}
+		// crossings[pos-lo] counts entries (i,j) with min(i,j) < pos <=
+		// max(i,j): the traffic attributable to a boundary placed at pos.
+		// Built as a difference array over the candidate range.
+		diff := make([]int64, hi-lo+2)
+		for i := 0; i < m.Rows; i++ {
+			for e := m.RowPtr[i]; e < m.RowPtr[i+1]; e++ {
+				j := int(m.ColIdx[e])
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				from, to := a+1, b
+				if from < lo {
+					from = lo
+				}
+				if to > hi {
+					to = hi
+				}
+				if from <= to {
+					diff[from-lo]++
+					diff[to-lo+1]--
+				}
+			}
+		}
+		best, bestCost := out.Bounds[k], int64(-1)
+		var running int64
+		for pos := lo; pos <= hi; pos++ {
+			running += diff[pos-lo]
+			left := nnzBetween(out.Bounds[k-1], pos)
+			right := nnzBetween(pos, out.Bounds[k+1])
+			if left < minShare || left > maxShare || right < minShare || right > maxShare {
+				continue
+			}
+			if bestCost < 0 || running < bestCost {
+				best, bestCost = pos, running
+			}
+		}
+		if bestCost >= 0 {
+			out.Bounds[k] = best
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowBlocksBalance(t *testing.T) {
+	m, err := RGG(1<<12, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		p, err := RowBlocks(m, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(m.Rows); err != nil {
+			t.Fatal(err)
+		}
+		if p.Parts() != parts {
+			t.Fatalf("parts = %d, want %d", p.Parts(), parts)
+		}
+		// Each block holds within one row's nnz of the equal share: bound k
+		// is the first row crossing k/parts of the total.
+		var maxRow int32
+		for i := 0; i < m.Rows; i++ {
+			if d := m.RowPtr[i+1] - m.RowPtr[i]; d > maxRow {
+				maxRow = d
+			}
+		}
+		share := float64(m.NNZ()) / float64(parts)
+		for k := 0; k < parts; k++ {
+			lo, hi := p.Range(k)
+			nnz := float64(m.RowPtr[hi] - m.RowPtr[lo])
+			if nnz > share+2*float64(maxRow) || nnz < share-2*float64(maxRow) {
+				t.Errorf("parts=%d block %d holds %g nnz, equal share %g (max row %d)",
+					parts, k, nnz, share, maxRow)
+			}
+		}
+	}
+}
+
+func TestRowBlocksDegenerate(t *testing.T) {
+	m, err := FromCOO(4, 4, []COO{{0, 0, 1}, {3, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RowBlocks(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(m.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RowBlocks(m, 0); err == nil {
+		t.Error("0 parts accepted")
+	}
+	if _, err := RowBlocks(m, 5); err == nil {
+		t.Error("more parts than rows accepted")
+	}
+}
+
+func TestOwnerOfMatchesBounds(t *testing.T) {
+	p := Partition{Bounds: []int{0, 3, 3, 7, 10}}
+	want := []int{0, 0, 0, 2, 2, 2, 2, 3, 3, 3}
+	for row, k := range want {
+		if got := p.OwnerOf(row); got != k {
+			t.Errorf("OwnerOf(%d) = %d, want %d", row, got, k)
+		}
+	}
+}
+
+func TestEdgeCutTridiagonal(t *testing.T) {
+	// Tridiagonal 8x8: each boundary between adjacent parts cuts exactly
+	// the two off-diagonal entries straddling it.
+	var entries []COO
+	for i := int32(0); i < 8; i++ {
+		entries = append(entries, COO{i, i, 1})
+		if i > 0 {
+			entries = append(entries, COO{i, i - 1, 1}, COO{i - 1, i, 1})
+		}
+	}
+	m, err := FromCOO(8, 8, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := EdgeCut(m, Partition{Bounds: []int{0, 4, 8}}); cut != 2 {
+		t.Errorf("2-part cut = %d, want 2", cut)
+	}
+	if cut := EdgeCut(m, Partition{Bounds: []int{0, 2, 4, 6, 8}}); cut != 6 {
+		t.Errorf("4-part cut = %d, want 6", cut)
+	}
+}
+
+func TestRefineGreedyFindsCliqueGap(t *testing.T) {
+	// Two 8-node cliques joined by one edge. The nnz-balanced boundary
+	// falls at row 8 already, so shift it first and check refinement moves
+	// it back to the gap, where the cut is the minimum possible (2 stored
+	// entries for the single undirected bridge).
+	var entries []COO
+	clique := func(base int32) {
+		for i := base; i < base+8; i++ {
+			for j := base; j < base+8; j++ {
+				if i != j {
+					entries = append(entries, COO{i, j, 1})
+				}
+			}
+		}
+	}
+	clique(0)
+	clique(8)
+	entries = append(entries, COO{7, 8, 1}, COO{8, 7, 1})
+	m, err := FromCOO(16, 16, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := Partition{Bounds: []int{0, 6, 16}}
+	refined, err := RefineGreedy(m, skewed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Bounds[1] != 8 {
+		t.Fatalf("refined boundary = %d, want 8 (clique gap); bounds %v", refined.Bounds[1], refined.Bounds)
+	}
+	if before, after := EdgeCut(m, skewed), EdgeCut(m, refined); after >= before {
+		t.Errorf("refinement did not reduce cut: %d -> %d", before, after)
+	}
+	if cut := EdgeCut(m, refined); cut != 2 {
+		t.Errorf("refined cut = %d, want 2", cut)
+	}
+}
+
+func TestRefineGreedyNeverWorsensCut(t *testing.T) {
+	m, err := RGG(1<<10, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RowBlocks(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := RefineGreedy(m, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refined.Validate(m.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if before, after := EdgeCut(m, base), EdgeCut(m, refined); after > before {
+		t.Errorf("refinement worsened cut: %d -> %d", before, after)
+	}
+	// Refinement must preserve the nnz-balance tolerance.
+	share := float64(m.NNZ()) / 4
+	for k := 0; k < 4; k++ {
+		lo, hi := refined.Range(k)
+		nnz := float64(m.RowPtr[hi] - m.RowPtr[lo])
+		if nnz < (1-refineTolerance)*share-float64(m.AvgDegree()) ||
+			nnz > (1+refineTolerance)*share+float64(m.AvgDegree()) {
+			t.Errorf("block %d holds %g nnz, outside tolerance of share %g", k, nnz, share)
+		}
+	}
+}
+
+func TestRefineGreedyDeterministic(t *testing.T) {
+	m, err := RGG(1<<9, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RowBlocks(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RefineGreedy(m, base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RefineGreedy(m, base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			t.Fatalf("refinement not deterministic: %v vs %v", a.Bounds, b.Bounds)
+		}
+	}
+}
+
+func TestPartitionQuickOwnership(t *testing.T) {
+	// Every row belongs to exactly the block whose range contains it.
+	p := Partition{Bounds: []int{0, 5, 9, 9, 20}}
+	f := func(row uint8) bool {
+		r := int(row) % 20
+		k := p.OwnerOf(r)
+		lo, hi := p.Range(k)
+		return lo <= r && r < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -37,6 +37,7 @@ const (
 	TrackDRAM    = "dram"    // trace-driven DRAM simulator passes
 	TrackHost    = "host"    // host-side fallback stages (e.g. STAP weight solve)
 	TrackApp     = "app"     // application pipeline stages
+	TrackXStack  = "xstack"  // inter-stack link transfers (multi-stack exchanges)
 )
 
 // SpanType classifies an event. It doubles as the Chrome trace category,
@@ -57,12 +58,14 @@ const (
 	SpanDRAMPass                  // one DRAM simulator trace run
 	SpanHost                      // host-side (non-accelerated) work
 	SpanStage                     // application pipeline stage
+	SpanExchange                  // inter-stack vector-segment exchange transfer
 	numSpanTypes
 )
 
 var spanNames = [numSpanTypes]string{
 	"launch", "plan_lower", "wave", "node", "stream",
 	"submit", "admission", "flight", "wait", "dram_pass", "host", "stage",
+	"exchange",
 }
 
 // String returns the span type's trace category name.
